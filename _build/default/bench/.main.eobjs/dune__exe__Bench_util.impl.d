@@ -1,0 +1,1 @@
+bench/bench_util.ml: Printf Purity_core Purity_sim Purity_ssd Purity_util

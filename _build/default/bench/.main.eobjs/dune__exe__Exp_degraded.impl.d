@@ -1,0 +1,1 @@
+bench/exp_degraded.ml: Bench_util List Printf Purity_core Purity_sched Purity_util Purity_workload String

@@ -1,0 +1,1 @@
+bench/exp_elision.ml: Bench_util Int64 Printf Purity_pyramid String

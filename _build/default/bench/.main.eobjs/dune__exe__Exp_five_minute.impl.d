@@ -1,0 +1,1 @@
+bench/exp_five_minute.ml: Bench_util List Option Printf Purity_baseline

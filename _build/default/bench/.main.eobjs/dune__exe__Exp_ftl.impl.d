@@ -1,0 +1,1 @@
+bench/exp_ftl.ml: Bench_util Printf Purity_ssd Purity_util

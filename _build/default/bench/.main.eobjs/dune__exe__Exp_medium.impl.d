@@ -1,0 +1,1 @@
+bench/exp_medium.ml: Bench_util Fmt List Printf Purity_medium

@@ -1,0 +1,1 @@
+bench/exp_metadata.ml: Array Bench_util Int64 List Printf Purity_encoding Purity_util

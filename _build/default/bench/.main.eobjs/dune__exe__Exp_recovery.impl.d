@@ -1,0 +1,1 @@
+bench/exp_recovery.ml: Bench_util List Printf Purity_core Purity_workload

@@ -1,0 +1,1 @@
+bench/exp_reduction.ml: Bench_util List Printf Purity_core Purity_workload String

@@ -1,0 +1,1 @@
+bench/exp_replication.ml: Bench_util List Option Printf Purity_core Purity_replication Purity_sim Purity_util Purity_workload

@@ -1,0 +1,1 @@
+bench/exp_rollback.ml: Bench_util List Printf Purity_baseline

@@ -1,0 +1,1 @@
+bench/exp_scaleout.ml: Bench_util Fmt List Printf Purity_baseline String

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Bench_util List Option Printf Purity_baseline Purity_core Purity_sim Purity_util Purity_workload

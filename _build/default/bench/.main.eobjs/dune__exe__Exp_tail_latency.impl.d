@@ -1,0 +1,1 @@
+bench/exp_tail_latency.ml: Bench_util Printf Purity_core Purity_sched Purity_util Purity_workload

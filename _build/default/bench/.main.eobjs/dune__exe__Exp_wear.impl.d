@@ -1,0 +1,1 @@
+bench/exp_wear.ml: Array Bench_util Printf Purity_core Purity_sim Purity_ssd Purity_workload

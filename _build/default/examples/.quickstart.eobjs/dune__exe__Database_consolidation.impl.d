@@ -1,0 +1,1 @@
+examples/database_consolidation.ml: Fmt List Option Printf Purity_core Purity_sim Purity_workload

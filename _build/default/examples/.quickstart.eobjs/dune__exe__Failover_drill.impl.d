@@ -1,0 +1,1 @@
+examples/failover_drill.ml: Bytes List Option Printf Purity_core Purity_sim Purity_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Buffer Fmt Option Printf Purity_core Purity_sim Purity_util String

@@ -1,0 +1,1 @@
+examples/vdi_cloning.ml: List Option Printf Purity_core Purity_sim Purity_workload String

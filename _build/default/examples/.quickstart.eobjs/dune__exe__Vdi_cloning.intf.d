@@ -1,0 +1,1 @@
+examples/vdi_cloning.mli:

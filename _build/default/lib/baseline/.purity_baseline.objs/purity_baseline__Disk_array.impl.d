@@ -1,0 +1,1 @@
+lib/baseline/disk_array.ml: Array Float Purity_sim Purity_util

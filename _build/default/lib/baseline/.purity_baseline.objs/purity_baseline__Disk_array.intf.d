@@ -1,0 +1,1 @@
+lib/baseline/disk_array.mli: Purity_sim Purity_util

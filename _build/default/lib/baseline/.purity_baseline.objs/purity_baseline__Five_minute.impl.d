@@ -1,0 +1,1 @@
+lib/baseline/five_minute.ml: Float List Printf

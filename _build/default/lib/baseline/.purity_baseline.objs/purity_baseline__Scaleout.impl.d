@@ -1,0 +1,1 @@
+lib/baseline/scaleout.ml: Float Fmt List

@@ -1,0 +1,85 @@
+type tier = {
+  name : string;
+  dollars_per_gb : float;
+  accesses_per_sec : float;
+  dollars_per_device : float;
+}
+
+(* Table 1: Purity $5/GB usable at 1x; data reduction divides the capacity
+   price. 200k IOPS for a ~$200k street-price array. *)
+let purity ~reduction =
+  {
+    name = (if reduction = 1.0 then "1x - No reduction"
+            else if reduction <= 4.0 then Printf.sprintf "%gx - RDBMS" reduction
+            else Printf.sprintf "%gx - MongoDB" reduction);
+    dollars_per_gb = 5.0 /. reduction;
+    accesses_per_sec = 200_000.0;
+    dollars_per_device = 200_000.0;
+  }
+
+let hard_disk =
+  {
+    name = "Hard disk";
+    dollars_per_gb = 18.0;
+    accesses_per_sec = 65_000.0;
+    dollars_per_device = 450_000.0;
+  }
+
+let ecc_dimm =
+  {
+    name = "ECC DIMM";
+    dollars_per_gb = 1000.0 /. 64.0;
+    accesses_per_sec = infinity;
+    dollars_per_device = 0.0;
+  }
+
+(* Cost rate ($ per GB of objects, amortised) = capacity cost + the share
+   of device price consumed by the access rate. Device prices amortise
+   over a 5-year life; capacity is a one-time purchase treated the same
+   way, so the common factor cancels in relative costs. *)
+let cost_per_gb_hour tier ~object_bytes ~access_interval_s =
+  let objects_per_gb = 1073741824.0 /. float_of_int object_bytes in
+  let accesses_per_sec_per_gb = objects_per_gb /. access_interval_s in
+  let capacity = tier.dollars_per_gb in
+  let access =
+    if Float.is_integer tier.accesses_per_sec && tier.accesses_per_sec = 0.0 then 0.0
+    else if tier.accesses_per_sec = infinity then 0.0
+    else tier.dollars_per_device /. tier.accesses_per_sec *. accesses_per_sec_per_gb
+  in
+  capacity +. access
+
+let relative_cost tier ~baseline ~object_bytes ~access_interval_s =
+  cost_per_gb_hour tier ~object_bytes ~access_interval_s
+  /. cost_per_gb_hour baseline ~object_bytes ~access_interval_s
+
+let crossover_interval_s tier ~baseline ~object_bytes =
+  let f s = relative_cost tier ~baseline ~object_bytes ~access_interval_s:s -. 1.0 in
+  let lo = 1.0 and hi = 365.0 *. 86400.0 in
+  if f lo < 0.0 then Some lo
+  else if f hi > 0.0 then None
+  else begin
+    let lo = ref lo and hi = ref hi in
+    for _ = 1 to 60 do
+      let mid = sqrt (!lo *. !hi) in
+      if f mid > 0.0 then lo := mid else hi := mid
+    done;
+    Some !hi
+  end
+
+let figure7_intervals =
+  [ 1.0; 10.0; 30.0; 60.0; 300.0; 600.0; 1800.0; 3600.0; 86400.0; 604800.0;
+    2419200.0; 31536000.0 ]
+
+let figure7_series () =
+  let tiers =
+    [ purity ~reduction:1.0; purity ~reduction:4.0; purity ~reduction:10.0; hard_disk; ecc_dimm ]
+  in
+  let object_bytes = 55 * 1024 in
+  List.map
+    (fun tier ->
+      ( tier.name,
+        List.map
+          (fun s ->
+            (s, relative_cost tier ~baseline:ecc_dimm ~object_bytes ~access_interval_s:s))
+          figure7_intervals ))
+    tiers

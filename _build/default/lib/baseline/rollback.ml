@@ -1,0 +1,39 @@
+type params = {
+  tps : float;
+  locks_per_txn : float;
+  db_locks : float;
+  think_s : float;
+  ios_per_txn : float;
+}
+
+let default_params =
+  { tps = 15000.0; locks_per_txn = 10.0; db_locks = 1e6; think_s = 0.0001; ios_per_txn = 8.0 }
+
+let rollback_probability p ~storage_latency_s =
+  let hold = p.think_s +. (p.ios_per_txn *. storage_latency_s) in
+  (* rolled-back transactions retry, inflating the offered load — the
+     feedback loop behind the paper's super-linear warning; solve the
+     fixed point lambda' = lambda / (1 - p(lambda')) *)
+  let prob lambda =
+    let concurrent = lambda *. hold in
+    let rate = concurrent *. p.locks_per_txn *. p.locks_per_txn /. p.db_locks in
+    1.0 -. exp (-.rate)
+  in
+  let rec fixpoint lambda n =
+    let pr = prob lambda in
+    if n = 0 || pr > 0.9 then Float.min pr 0.99
+    else begin
+      let lambda' = p.tps /. (1.0 -. pr) in
+      if abs_float (lambda' -. lambda) < 1.0 then pr else fixpoint lambda' (n - 1)
+    end
+  in
+  fixpoint p.tps 50
+
+let series p =
+  List.map
+    (fun ms -> (ms /. 1000.0, rollback_probability p ~storage_latency_s:(ms /. 1000.0)))
+    [ 0.1; 0.2; 0.5; 1.0; 2.0; 5.0; 10.0 ]
+
+let improvement p ~disk_latency_s ~flash_latency_s =
+  rollback_probability p ~storage_latency_s:disk_latency_s
+  /. rollback_probability p ~storage_latency_s:flash_latency_s

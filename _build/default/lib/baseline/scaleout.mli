@@ -1,0 +1,36 @@
+(** Table 2's analytic consolidation model.
+
+    The paper estimates how many FA-450 arrays replace published
+    disk-based key-value deployments by dividing each service's design
+    throughput or capacity by the array's. This module encodes the
+    paper's published inputs and reproduces the table's ratios. *)
+
+type deployment = {
+  service : string;
+  scale : string;  (** the paper's "Scale" column *)
+  year : int;
+  scope : string;
+  apps : string;  (** the paper's "Apps" column, verbatim *)
+  nodes : int;  (** deployment size in nodes (midpoint when a range) *)
+  demand : [ `Ops_per_s of float | `Capacity_pb of float ];
+}
+
+val paper_deployments : deployment list
+(** PNUTS, Spanner, S3 and DynamoDB rows with the paper's numbers. *)
+
+type fa450 = {
+  ops_per_s : float;  (** 200k x 32 KiB IOPS *)
+  effective_tb : float;  (** 250 TB effective capacity *)
+}
+
+val fa450 : fa450
+
+type row = {
+  deployment : deployment;
+  arrays_needed : float;  (** the paper's "≈FA-450's" column *)
+  nodes_per_array : float;  (** the consolidation ratio *)
+}
+
+val consolidate : ?array_spec:fa450 -> deployment -> row
+val table : ?array_spec:fa450 -> unit -> row list
+val pp_table : row list Fmt.t

@@ -1,0 +1,1 @@
+lib/compress/cblock.ml: Buffer Bytes Char Int32 Lz Purity_util String

@@ -1,0 +1,64 @@
+module Varint = Purity_util.Varint
+module Crc32c = Purity_util.Crc32c
+
+type encoding = Raw | Lz
+
+type t = { logical_len : int; encoding : encoding; payload : string }
+
+let max_logical = 32 * 1024
+
+let of_data data =
+  let n = String.length data in
+  if n > max_logical then invalid_arg "Cblock.of_data: larger than 32 KiB";
+  let compressed = Lz.compress data in
+  if String.length compressed < n then
+    { logical_len = n; encoding = Lz; payload = compressed }
+  else { logical_len = n; encoding = Raw; payload = data }
+
+let data t =
+  match t.encoding with
+  | Raw -> t.payload
+  | Lz -> Lz.decompress t.payload ~expected_len:t.logical_len
+
+let header_size t =
+  Varint.size t.logical_len + 1 + Varint.size (String.length t.payload) + 4
+
+let stored_size t = header_size t + String.length t.payload
+
+let encode buf t =
+  Varint.write buf t.logical_len;
+  Buffer.add_char buf (match t.encoding with Raw -> '\000' | Lz -> '\001');
+  Varint.write buf (String.length t.payload);
+  let crc = Crc32c.digest_string t.payload in
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand crc 0xFFl)));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 8) 0xFFl)));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 16) 0xFFl)));
+  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 24) 0xFFl)));
+  Buffer.add_string buf t.payload
+
+let decode buf ~pos =
+  let logical_len, p = Varint.read buf ~pos in
+  if p >= Bytes.length buf then invalid_arg "Cblock.decode: truncated";
+  let encoding =
+    match Bytes.get buf p with
+    | '\000' -> Raw
+    | '\001' -> Lz
+    | _ -> invalid_arg "Cblock.decode: bad encoding byte"
+  in
+  let payload_len, p = Varint.read buf ~pos:(p + 1) in
+  if p + 4 + payload_len > Bytes.length buf then invalid_arg "Cblock.decode: truncated";
+  let crc_stored =
+    let b i = Int32.of_int (Bytes.get_uint8 buf (p + i)) in
+    Int32.logor (b 0)
+      (Int32.logor
+         (Int32.shift_left (b 1) 8)
+         (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+  in
+  let payload = Bytes.sub_string buf (p + 4) payload_len in
+  if Crc32c.digest_string payload <> crc_stored then
+    invalid_arg "Cblock.decode: CRC mismatch";
+  ({ logical_len; encoding; payload }, p + 4 + payload_len)
+
+let reduction t =
+  if stored_size t = 0 then 1.0
+  else float_of_int t.logical_len /. float_of_int (stored_size t)

@@ -1,0 +1,42 @@
+(** Cblock framing: Purity's on-media unit of compressed application data.
+
+    A cblock (paper §4.6) holds one application write's worth of data —
+    512 B up to 32 KiB, sized to match the write that created it — in
+    compressed form, self-framed so the segment reader can decode it from
+    a byte stream. The frame records the logical length, the encoding
+    (raw when compression would expand the data), a CRC-32C of the stored
+    payload, and the payload itself. *)
+
+type encoding = Raw | Lz
+
+type t = {
+  logical_len : int;  (** uncompressed application bytes *)
+  encoding : encoding;
+  payload : string;  (** stored bytes (possibly compressed) *)
+}
+
+val max_logical : int
+(** 32 KiB: cblocks never exceed the largest inferred write size. *)
+
+val of_data : string -> t
+(** Build a cblock from application data, compressing unless that would
+    expand it. @raise Invalid_argument beyond [max_logical]. *)
+
+val data : t -> string
+(** Recover the application data. *)
+
+val stored_size : t -> int
+(** Bytes the cblock occupies on media, including the frame header. *)
+
+val encode : Buffer.t -> t -> unit
+(** Append the frame to a buffer. *)
+
+val decode : bytes -> pos:int -> t * int
+(** [decode buf ~pos] parses one frame, returning it and the offset just
+    past it. @raise Invalid_argument on corruption (CRC mismatch) or
+    truncation. *)
+
+val reduction : t -> float
+(** logical/stored ratio for this cblock (>= 1 unless data was
+    incompressible, where the raw fallback caps expansion at the frame
+    header). *)

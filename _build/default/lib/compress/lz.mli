@@ -1,0 +1,28 @@
+(** Byte-oriented LZ77 block compression.
+
+    Purity compresses every application block before it reaches flash
+    (paper §3.1): log-structured placement lets compressed blocks pack
+    tightly with no alignment padding, so a "simpler, more efficient"
+    byte-oriented LZ class codec suffices. This is such a codec, written
+    from scratch: greedy LZ77 with a 64 KiB window, 4-byte minimum match,
+    and an LZ4-style token format (so decompression is branch-light).
+
+    Format per sequence: a token byte whose high nibble is the literal
+    count and low nibble the match length minus 4 (15 in either nibble
+    chains 255-valued extension bytes), then the literals, then a 2-byte
+    little-endian match offset. The final sequence carries literals only
+    (offset 0 terminator). *)
+
+val compress : string -> string
+(** Compress a buffer. Output may be larger than the input for
+    incompressible data; callers should use {!compress_cblock}-style
+    framing to fall back to raw storage (see {!Cblock}). *)
+
+val decompress : string -> expected_len:int -> string
+(** Decompress; [expected_len] is the original size (stored out-of-band in
+    the cblock frame).
+    @raise Invalid_argument on malformed input or length mismatch. *)
+
+val ratio : string -> float
+(** [ratio s] = original size / compressed size, a quick compressibility
+    probe used by workload-characterisation code. *)

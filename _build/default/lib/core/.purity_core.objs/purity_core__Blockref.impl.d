@@ -1,0 +1,1 @@
+lib/core/blockref.ml: Buffer Bytes Fmt Purity_util

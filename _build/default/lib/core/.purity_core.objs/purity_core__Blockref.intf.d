@@ -1,0 +1,1 @@
+lib/core/blockref.mli: Fmt

@@ -1,0 +1,1 @@
+lib/core/boot_region.ml: Float Purity_sim

@@ -1,0 +1,1 @@
+lib/core/boot_region.mli: Purity_sim

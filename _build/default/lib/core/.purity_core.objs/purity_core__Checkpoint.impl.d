@@ -1,0 +1,1 @@
+lib/core/checkpoint.ml: Allocator Array Boot_region Clock Drive Hashtbl Int Keys Layout List Medium Patch Purity_encoding Pyramid Segment Shelf State String Writer

@@ -1,0 +1,1 @@
+lib/core/flash_array.mli: Checkpoint Gc Purity_dedup Purity_sched Purity_sim Purity_ssd Purity_util Read_path Recovery Scrub State Write_path

@@ -1,0 +1,1 @@
+lib/core/gc.ml: Allocator Array Blockref Bytes Checkpoint Clock Dedup Drive Float Hashtbl Io Keys List Medium Purity_util Pyramid Segment Shelf State String Writer

@@ -1,0 +1,1 @@
+lib/core/keys.ml: Bytes Int64

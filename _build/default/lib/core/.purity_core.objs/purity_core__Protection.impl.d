@@ -1,0 +1,1 @@
+lib/core/protection.ml: Flash_array Hashtbl List Printf Purity_sim

@@ -1,0 +1,1 @@
+lib/core/read_path.ml: Blockref Bytes Cblock Clock Hashtbl Io List Purity_util State String Writer

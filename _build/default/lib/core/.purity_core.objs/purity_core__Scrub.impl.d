@@ -1,0 +1,1 @@
+lib/core/scrub.ml: Array Clock Drive Gc Hashtbl Lazy List Segment Shelf State Writer

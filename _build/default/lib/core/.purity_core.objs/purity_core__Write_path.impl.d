@@ -1,0 +1,1 @@
+lib/core/write_path.ml: Array Blockref Buffer Bytes Cblock Clock Dedup Hashtbl Keys List Medium Nvram Purity_pyramid Purity_util State String Varint

@@ -1,0 +1,23 @@
+module Varint = Purity_util.Varint
+
+type t = { segment : int; off : int; stored_len : int; index : int }
+
+let encode t =
+  let buf = Buffer.create 12 in
+  Varint.write buf t.segment;
+  Varint.write buf t.off;
+  Varint.write buf t.stored_len;
+  Varint.write buf t.index;
+  Buffer.contents buf
+
+let decode s =
+  let buf = Bytes.unsafe_of_string s in
+  let segment, p = Varint.read buf ~pos:0 in
+  let off, p = Varint.read buf ~pos:p in
+  let stored_len, p = Varint.read buf ~pos:p in
+  let index, _ = Varint.read buf ~pos:p in
+  { segment; off; stored_len; index }
+
+let same_cblock a b = a.segment = b.segment && a.off = b.off
+
+let pp ppf t = Fmt.pf ppf "seg%d@%d+%d[%d]" t.segment t.off t.stored_len t.index

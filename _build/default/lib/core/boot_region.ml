@@ -1,0 +1,30 @@
+module Clock = Purity_sim.Clock
+
+type t = {
+  clock : Clock.t;
+  write_us : float;
+  read_us : float;
+  mutable blob : string option;
+  mutable write_count : int;
+  mutable free_at : float;
+}
+
+let create ?(write_us = 600.0) ?(read_us = 250.0) ~clock () =
+  { clock; write_us; read_us; blob = None; write_count = 0; free_at = 0.0 }
+
+let reserve t dur =
+  let start = Float.max (Clock.now t.clock) t.free_at in
+  let finish = start +. dur in
+  t.free_at <- finish;
+  finish
+
+let write t blob k =
+  t.blob <- Some blob;
+  t.write_count <- t.write_count + 1;
+  Clock.schedule_at t.clock ~at:(reserve t t.write_us) k
+
+let read t k =
+  let blob = t.blob in
+  Clock.schedule_at t.clock ~at:(reserve t t.read_us) (fun () -> k blob)
+
+let writes t = t.write_count

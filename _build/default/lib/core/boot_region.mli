@@ -1,0 +1,25 @@
+(** The boot region (paper §4.3, Figure 5).
+
+    "The boot region is a tiny percentage of the total storage, and
+    contains the locations of the relations and allocator state for the
+    main region." It is the only piece of storage with a fixed location,
+    so recovery can read it in O(1) before anything else is known.
+
+    Modelled as a small mirrored blob with page-write latencies charged
+    to the shared clock; its contents survive controller failover (they
+    live in the shelf, not the controller). *)
+
+type t
+
+val create : ?write_us:float -> ?read_us:float -> clock:Purity_sim.Clock.t -> unit -> t
+(** Defaults: 600 us per write (a few pages mirrored to two drives),
+    250 us per read. *)
+
+val write : t -> string -> (unit -> unit) -> unit
+(** Atomically replace the blob; callback at durability. *)
+
+val read : t -> (string option -> unit) -> unit
+(** [None] before the first write (a factory-fresh array). *)
+
+val writes : t -> int
+(** Total boot-region writes — the "<1% of writes" bookkeeping. *)

@@ -1,0 +1,338 @@
+open State
+
+type config = State.config = {
+  drives : int;
+  drive_config : Purity_ssd.Drive.config;
+  k : int;
+  m : int;
+  write_unit : int;
+  nvram_capacity : int;
+  memtable_flush : int;
+  read_around_write : bool;
+  p95_backup : bool;
+  max_segment_writers : int;
+  inline_dedup : bool;
+  compression : bool;
+  dedup_config : Purity_dedup.Dedup.config;
+  checkpoint_every_writes : int;
+  read_cache_entries : int;
+  secondary_warming : bool;
+  seed : int64;
+}
+
+let default_config = State.default_config
+let block_size = State.block_size
+
+type t = {
+  config : config;
+  clk : Clock.t;
+  mutable st : State.t;
+  mutable app_reads : int;
+  mutable crash_time : float option;
+  mutable total_downtime : float;
+  created_at : float;
+}
+
+let create ?(config = default_config) ~clock () =
+  { config; clk = clock; st = State.create ~config ~clock (); app_reads = 0;
+    crash_time = None; total_downtime = 0.0; created_at = Clock.now clock }
+
+let clock t = t.clk
+let shelf t = t.st.shelf
+let state t = t.st
+let is_online t = t.st.online
+
+type vol_error = [ `Exists | `No_such_volume | `Busy | `Is_snapshot | `Is_volume ]
+type write_error = Write_path.error
+type read_error = Read_path.error
+
+(* ---------- volumes ---------- *)
+
+let create_volume t name ~blocks =
+  let st = t.st in
+  if Hashtbl.mem st.volumes name then Error `Exists
+  else if blocks <= 0 then invalid_arg "create_volume: blocks must be positive"
+  else begin
+    let medium = Medium.create_base st.medium_table ~blocks in
+    st.medium_next_id <- Medium.peek_next_id st.medium_table;
+    let v = { medium; blocks; kind = Volume; observer = fresh_observer () } in
+    Hashtbl.replace st.volumes name v;
+    persist_medium st medium;
+    persist_volume st name v;
+    maybe_persist_boot st;
+    Ok ()
+  end
+
+(* Is a medium the current medium of any volume or snapshot? *)
+let medium_in_use st medium =
+  Hashtbl.fold (fun _ v acc -> acc || v.medium = medium) st.volumes false
+
+(* Drop a medium and cascade into ancestors that become unreferenced.
+   Each drop is one elide insert per table — the paper's point. *)
+let rec drop_medium_cascade st medium =
+  if
+    Medium.exists st.medium_table medium
+    && (not (medium_in_use st medium))
+    && Medium.referenced_by st.medium_table medium = []
+  then begin
+    let targets =
+      Medium.extents st.medium_table medium
+      |> List.filter_map (fun (e : Medium.extent) ->
+             match e.Medium.target with
+             | Medium.Underlying { medium = m; _ } -> Some m
+             | Medium.Base -> None)
+      |> List.sort_uniq Int.compare
+    in
+    Medium.drop st.medium_table medium;
+    ignore (put_elide st st.mediums_pyr ~lo:medium ~hi:medium);
+    ignore (put_elide st st.blocks ~lo:medium ~hi:medium);
+    List.iter (drop_medium_cascade st) targets
+  end
+
+let delete_volume t name =
+  let st = t.st in
+  match Hashtbl.find_opt st.volumes name with
+  | None -> Error `No_such_volume
+  | Some v when v.kind = Snapshot -> Error `Is_snapshot
+  | Some v ->
+    Hashtbl.remove st.volumes name;
+    ignore (put_delete st st.volumes_pyr ~key:name);
+    drop_medium_cascade st v.medium;
+    Ok ()
+
+let resize_volume t name ~blocks =
+  let st = t.st in
+  match Hashtbl.find_opt st.volumes name with
+  | None -> Error `No_such_volume
+  | Some v when v.kind = Snapshot -> Error `Is_snapshot
+  | Some v ->
+    if blocks < v.blocks then Error `Shrink
+    else begin
+      if blocks > v.blocks then begin
+        Medium.extend st.medium_table v.medium ~blocks:(blocks - v.blocks);
+        v.blocks <- blocks;
+        persist_medium st v.medium;
+        persist_volume st name v
+      end;
+      Ok ()
+    end
+
+let snapshot t ~volume ~snap =
+  let st = t.st in
+  match Hashtbl.find_opt st.volumes volume with
+  | None -> Error `No_such_volume
+  | Some v when v.kind = Snapshot -> Error `Is_snapshot
+  | Some v ->
+    if Hashtbl.mem st.volumes snap then Error `Exists
+    else begin
+      let frozen = v.medium in
+      let snap_medium, successor = Medium.take_snapshot st.medium_table frozen in
+      st.medium_next_id <- Medium.peek_next_id st.medium_table;
+      v.medium <- successor;
+      let s = { medium = snap_medium; blocks = v.blocks; kind = Snapshot; observer = fresh_observer () } in
+      Hashtbl.replace st.volumes snap s;
+      persist_medium st frozen;
+      persist_medium st snap_medium;
+      persist_medium st successor;
+      persist_volume st volume v;
+      persist_volume st snap s;
+      Ok ()
+    end
+
+let clone t ~snapshot:snap_name ~volume =
+  let st = t.st in
+  match Hashtbl.find_opt st.volumes snap_name with
+  | None -> Error `No_such_volume
+  | Some s when s.kind = Volume -> Error `Is_volume
+  | Some s ->
+    if Hashtbl.mem st.volumes volume then Error `Exists
+    else begin
+      (* clone the medium the snapshot references (its frozen parent): the
+         snapshot handle itself is an empty pass-through layer *)
+      let parent =
+        match Medium.extents st.medium_table s.medium with
+        | [ { Medium.target = Medium.Underlying { medium; _ }; _ } ] -> medium
+        | _ -> s.medium
+      in
+      let medium = Medium.clone st.medium_table parent () in
+      st.medium_next_id <- Medium.peek_next_id st.medium_table;
+      let v = { medium; blocks = s.blocks; kind = Volume; observer = fresh_observer () } in
+      Hashtbl.replace st.volumes volume v;
+      persist_medium st medium;
+      persist_volume st volume v;
+      Ok ()
+    end
+
+let delete_snapshot t name =
+  let st = t.st in
+  match Hashtbl.find_opt st.volumes name with
+  | None -> Error `No_such_volume
+  | Some v when v.kind = Volume -> Error `Is_volume
+  | Some v ->
+    Hashtbl.remove st.volumes name;
+    ignore (put_delete st st.volumes_pyr ~key:name);
+    drop_medium_cascade st v.medium;
+    Ok ()
+
+let list_volumes t =
+  Hashtbl.fold
+    (fun name v acc ->
+      (name, (match v.kind with Volume -> `Volume | Snapshot -> `Snapshot), v.blocks) :: acc)
+    t.st.volumes []
+  |> List.sort compare
+
+let volume_exists t name = Hashtbl.mem t.st.volumes name
+
+let inferred_io_blocks t name =
+  match Hashtbl.find_opt t.st.volumes name with
+  | Some v -> Some (State.inferred_io_blocks v.State.observer)
+  | None -> None
+
+(* ---------- data path ---------- *)
+
+let write t ~volume ~block data k =
+  Write_path.write t.st ~volume ~block data (fun r ->
+      maybe_persist_boot t.st;
+      (match (r, t.st.cfg.checkpoint_every_writes) with
+      | Ok (), n when n > 0 && t.st.writes_since_checkpoint >= n ->
+        t.st.writes_since_checkpoint <- 0;
+        Checkpoint.run t.st (fun _ -> ())
+      | _ -> ());
+      k r)
+
+let read t ~volume ~block ~nblocks k =
+  t.app_reads <- t.app_reads + 1;
+  Read_path.read t.st ~volume ~block ~nblocks k
+
+let flush t k =
+  (try seal_current t.st with Out_of_space -> ());
+  when_flushed t.st k
+
+(* ---------- maintenance ---------- *)
+
+let checkpoint t k = Checkpoint.run t.st k
+let gc ?min_dead_ratio ?max_victims t k = Gc.run ?min_dead_ratio ?max_victims t.st k
+let scrub t k = Scrub.run t.st k
+
+(* ---------- faults ---------- *)
+
+let pull_drive t i = Shelf.pull_drive t.st.shelf i
+let reinsert_drive t i = Shelf.reinsert_drive t.st.shelf i
+let replace_drive t i = Shelf.replace_drive t.st.shelf i
+
+let rebuild_drive t drive k =
+  let st = t.st in
+  (* flush the open segio first so every segment touching the drive is a
+     sealed, relocatable victim *)
+  (try seal_current st with Out_of_space -> ());
+  when_flushed st (fun () ->
+  let victims =
+    Hashtbl.fold
+      (fun id (meta : Segment.t) acc ->
+        let touches =
+          Array.exists (fun (m : Segment.member) -> m.Segment.drive = drive) meta.Segment.members
+        in
+        if touches then id :: acc else acc)
+      st.segment_metas []
+  in
+  let live = Gc.liveness st in
+  let content_cache = Hashtbl.create 16 in
+  let counters = (ref 0, ref 0, ref 0) in
+  let released = ref [] in
+  let rec go = function
+    | [] ->
+      (try seal_current st with Out_of_space -> ());
+      when_flushed st (fun () ->
+          List.iter (Gc.release_segment st) !released;
+          k (List.length !released))
+    | seg :: rest ->
+      Gc.relocate_segment st ~live ~content_cache ~counters seg (fun ok ->
+          if ok then released := seg :: !released;
+          go rest)
+  in
+  go victims)
+
+let crash t =
+  t.st.online <- false;
+  State.halt_device_activity t.st;
+  t.crash_time <- Some (Clock.now t.clk)
+
+let failover ?mode t k =
+  if t.st.online then crash t;
+  let st' =
+    State.create_over ~config:t.config ~clock:t.clk ~shelf:t.st.shelf ~boot:t.st.boot ()
+  in
+  let old_st = t.st in
+  Recovery.recover ?mode st' (fun report ->
+      State.warm_cache ~from:old_st ~into:st';
+      t.st <- st';
+      (match t.crash_time with
+      | Some at ->
+        t.total_downtime <- t.total_downtime +. (Clock.now t.clk -. at);
+        t.crash_time <- None
+      | None -> ());
+      k report)
+
+(* ---------- statistics ---------- *)
+
+type stats = {
+  app_writes : int;
+  app_reads : int;
+  logical_bytes_written : int;
+  stored_bytes_written : int;
+  live_logical_bytes : int;
+  physical_bytes_used : int;
+  physical_capacity : int;
+  data_reduction : float;
+  provisioned_virtual_bytes : int;
+  dedup_blocks : int;
+  gc_dedup_blocks : int;
+  write_latency : Purity_util.Histogram.t;
+  read_latency : Purity_util.Histogram.t;
+  io : Purity_sched.Io.stats;
+  boot_region_writes : int;
+  segments_live : int;
+  availability : float;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+let stats t =
+  let st = t.st in
+  let au = st.cfg.drive_config.Drive.au_size in
+  let live_logical = Pyramid.live_key_count st.blocks * block_size in
+  let physical_used = Allocator.used_au_count st.alloc * au in
+  let capacity = Shelf.physical_bytes st.shelf in
+  let provisioned =
+    Hashtbl.fold
+      (fun _ (v : State.volume) acc -> acc + (v.State.blocks * block_size))
+      st.volumes 0
+  in
+  let elapsed = Clock.now t.clk -. t.created_at in
+  let down =
+    t.total_downtime
+    +. (match t.crash_time with Some at -> Clock.now t.clk -. at | None -> 0.0)
+  in
+  {
+    app_writes = st.ws.app_writes;
+    app_reads = t.app_reads;
+    logical_bytes_written = st.ws.logical_bytes;
+    stored_bytes_written = st.ws.stored_bytes;
+    live_logical_bytes = live_logical;
+    physical_bytes_used = physical_used;
+    physical_capacity = capacity;
+    data_reduction =
+      (if physical_used = 0 then 1.0
+       else float_of_int live_logical /. float_of_int physical_used);
+    provisioned_virtual_bytes = provisioned;
+    dedup_blocks = st.ws.dedup_blocks;
+    gc_dedup_blocks = st.ws.gc_dedup_blocks;
+    write_latency = st.write_lat;
+    read_latency = st.read_lat;
+    io = Io.stats st.io;
+    boot_region_writes = Boot_region.writes st.boot;
+    segments_live = Hashtbl.length st.segment_metas;
+    availability = (if elapsed <= 0.0 then 1.0 else (elapsed -. down) /. elapsed);
+    cache_hits = st.cache_hits;
+    cache_misses = st.cache_misses;
+  }

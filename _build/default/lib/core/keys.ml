@@ -1,0 +1,16 @@
+let be64 v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int v);
+  Bytes.unsafe_to_string b
+
+let read_be64 s pos = Int64.to_int (Bytes.get_int64_be (Bytes.unsafe_of_string s) pos)
+
+let block_key ~medium ~block = be64 medium ^ be64 block
+let block_key_medium k = read_be64 k 0
+let block_key_block k = read_be64 k 8
+
+let medium_key id = be64 id
+let medium_key_id k = read_be64 k 0
+
+let segment_key id = be64 id
+let segment_key_id k = read_be64 k 0

@@ -1,0 +1,21 @@
+(** Key encodings for the metadata pyramids.
+
+    Keys sort bytewise inside patches, so multi-part keys are fixed-width
+    big-endian — (medium, block) ranges scan in block order, and the
+    elide rule can extract the medium id from any block key. *)
+
+val block_key : medium:int -> block:int -> string
+(** 16-byte key for the block index. *)
+
+val block_key_medium : string -> int
+(** Elide rule: medium id of a block key. *)
+
+val block_key_block : string -> int
+
+val medium_key : int -> string
+(** 8-byte key for the medium table. *)
+
+val medium_key_id : string -> int
+
+val segment_key : int -> string
+val segment_key_id : string -> int

@@ -1,0 +1,139 @@
+(* The read path: (volume, block range) -> medium chain resolution
+   (paper §4.5) -> block references -> coalesced cblock reads through the
+   scheduler (read-around-write, reconstruction) -> decompress -> copy the
+   requested 512 B slices out.
+
+   Blocks with no reference anywhere in the chain read as zeros (thin
+   provisioning); the paper's note that small reads "generally retrieve a
+   single cblock" falls out of cblock sizing, visible in the coalescing
+   statistics. *)
+
+open State
+
+type error = [ `No_such_volume | `Out_of_range | `Offline | `Media_failure ]
+
+(* One physical cblock fetch serving several requested blocks. *)
+type fetch = {
+  ref_ : Blockref.t; (* index field unused here: whole-cblock fetch *)
+  mutable slices : (int * int) list; (* (output block position, cblock index) *)
+}
+
+let plan t ~medium ~block ~nblocks =
+  (* Resolve every requested block, grouping consecutive blocks that live
+     in the same cblock into one fetch. *)
+  let fetches : fetch list ref = ref [] in
+  let zeros = ref [] in
+  for i = 0 to nblocks - 1 do
+    match resolve_block t ~medium ~block:(block + i) with
+    | None -> zeros := i :: !zeros
+    | Some r -> (
+      match !fetches with
+      | f :: _ when Blockref.same_cblock f.ref_ r ->
+        f.slices <- (i, r.Blockref.index) :: f.slices
+      | _ -> fetches := { ref_ = r; slices = [ (i, r.Blockref.index) ] } :: !fetches)
+  done;
+  (List.rev !fetches, !zeros)
+
+let read t ~volume ~block ~nblocks k =
+  let start = Clock.now t.clock in
+  let fail e = Clock.schedule t.clock ~delay:0.0 (fun () -> k (Error e)) in
+  if not t.online then fail `Offline
+  else
+    match Hashtbl.find_opt t.volumes volume with
+    | None -> fail `No_such_volume
+    | Some v ->
+      if nblocks <= 0 || block < 0 || block + nblocks > v.blocks then fail `Out_of_range
+      else begin
+        let out = Bytes.make (nblocks * block_size) '\000' in
+        let fetches, _zeros = plan t ~medium:v.medium ~block ~nblocks in
+        let pending = ref (List.length fetches) in
+        let failed = ref false in
+        let finish () =
+          if !failed then k (Error `Media_failure)
+          else begin
+            Purity_util.Histogram.record t.read_lat (Clock.now t.clock -. start);
+            k (Ok (Bytes.unsafe_to_string out))
+          end
+        in
+        if fetches = [] then
+          (* all-zero read: charge a trivial metadata-only latency *)
+          Clock.schedule t.clock ~delay:1.0 finish
+        else
+          List.iter
+            (fun f ->
+              match Hashtbl.find_opt t.unflushed f.ref_.Blockref.segment with
+              | Some w -> (
+                (* data still in the segio's RAM buffer: DRAM-speed read *)
+                match
+                  Writer.peek_payload w ~off:f.ref_.Blockref.off
+                    ~len:f.ref_.Blockref.stored_len
+                with
+                | None ->
+                  failed := true;
+                  decr pending;
+                  if !pending = 0 then finish ()
+                | Some frame ->
+                  Clock.schedule t.clock ~delay:2.0 (fun () ->
+                      (match Cblock.decode (Bytes.unsafe_of_string frame) ~pos:0 with
+                      | exception Invalid_argument _ -> failed := true
+                      | cb, _ ->
+                        let data = Cblock.data cb in
+                        List.iter
+                          (fun (out_block, cb_index) ->
+                            let src = cb_index * block_size in
+                            if src + block_size <= String.length data then
+                              Bytes.blit_string data src out (out_block * block_size)
+                                block_size
+                            else failed := true)
+                          f.slices);
+                      decr pending;
+                      if !pending = 0 then finish ()))
+              | None -> (
+                let cache_key = (f.ref_.Blockref.segment, f.ref_.Blockref.off) in
+                let deliver_frame frame =
+                  match Cblock.decode frame ~pos:0 with
+                  | exception Invalid_argument _ -> failed := true
+                  | cb, _ ->
+                    let data = Cblock.data cb in
+                    List.iter
+                      (fun (out_block, cb_index) ->
+                        let src = cb_index * block_size in
+                        if src + block_size <= String.length data then
+                          Bytes.blit_string data src out (out_block * block_size)
+                            block_size
+                        else failed := true)
+                      f.slices
+                in
+                match
+                  if t.cfg.read_cache_entries > 0 then
+                    Purity_util.Lru.find t.read_cache cache_key
+                  else None
+                with
+                | Some frame ->
+                  (* controller-DRAM hit *)
+                  t.cache_hits <- t.cache_hits + 1;
+                  Clock.schedule t.clock ~delay:2.0 (fun () ->
+                      deliver_frame (Bytes.unsafe_of_string frame);
+                      decr pending;
+                      if !pending = 0 then finish ())
+                | None -> (
+                  t.cache_misses <- t.cache_misses + 1;
+                  match find_segment t f.ref_.Blockref.segment with
+                  | None ->
+                    failed := true;
+                    decr pending;
+                    if !pending = 0 then finish ()
+                  | Some seg ->
+                    Io.read t.io seg ~off:f.ref_.Blockref.off
+                      ~len:f.ref_.Blockref.stored_len (fun result ->
+                        (match result with
+                        | Error `Unrecoverable -> failed := true
+                        | Ok frame ->
+                          if t.cfg.read_cache_entries > 0 then
+                            Purity_util.Lru.add t.read_cache cache_key
+                              (Bytes.to_string frame);
+                          deliver_frame frame);
+                        decr pending;
+                        if !pending = 0 then finish ()))))
+            fetches
+      end

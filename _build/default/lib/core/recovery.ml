@@ -1,0 +1,318 @@
+(* Recovery (paper §4.3, Figure 5): runs on a freshly created State.t over
+   the surviving shelf + boot region, after a crash or during controller
+   failover.
+
+   1. read the boot region: frontier set, counters, checkpoint directory;
+   2. load the checkpointed patches into the pyramids;
+   3. scan segment headers for log records — either the whole array
+      (`Full_scan`, the paper's early 12 s path) or just the persisted
+      frontier set (`Frontier_scan`, the 0.1 s path);
+   4. replay discovered log records into the pyramids (facts are
+      idempotent, so re-inserting already-checkpointed ones is harmless);
+   5. replay NVRAM intents (writes acked but not yet in a flushed segio);
+   6. rebuild the volatile derived state (medium table, volumes, segment
+      metas, allocator occupancy, sequence counter). *)
+
+open State
+
+type mode = Frontier_scan | Full_scan
+
+type report = {
+  mode : mode;
+  duration_us : float;
+  cold : bool; (* factory-fresh array: nothing to recover *)
+  headers_scanned : int;
+  segments_found : int;
+  log_records : int;
+  nvram_records : int;
+  checkpoint_bytes : int;
+}
+
+let replay_log_record t record =
+  let buf = Bytes.unsafe_of_string record in
+  if Bytes.length buf = 0 then 0
+  else begin
+    let route tag =
+      match tag with
+      | 'B' -> Some t.blocks
+      | 'M' -> Some t.mediums_pyr
+      | 'S' -> Some t.segments_pyr
+      | 'V' -> Some t.volumes_pyr
+      | _ -> None
+    in
+    match Bytes.get buf 0 with
+    | 'e' ->
+      (* elide record: 'e' tag seq lo hi *)
+      if Bytes.length buf < 2 then 0
+      else begin
+        match route (Bytes.get buf 1) with
+        | None -> 0
+        | Some pyr ->
+          let seq, p = Varint.read_i64 buf ~pos:2 in
+          let lo, p = Varint.read buf ~pos:p in
+          let hi, _ = Varint.read buf ~pos:p in
+          (try Pyramid.elide_range pyr ~seq ~lo ~hi with Invalid_argument _ -> ());
+          1
+      end
+    | tag -> (
+      match route tag with
+      | None -> 0
+      | Some pyr -> (
+        match Fact.decode buf ~pos:1 with
+        | fact, _ ->
+          Pyramid.insert_fact pyr fact;
+          1
+        | exception Invalid_argument _ -> 0))
+  end
+
+(* Rebuild volatile state from the recovered pyramids. *)
+let rebuild_derived t ~medium_next_hint =
+  (* segment metas *)
+  Pyramid.iter_live t.segments_pyr (fun ~key ~value ->
+      let id = Keys.segment_key_id key in
+      match Segment.decode_compact value with
+      | meta ->
+        (* the segment-table fact is written at flush completion with the
+           final member list (mid-flush remaps included), so it overrides
+           any stale header copy the scan decoded *)
+        Hashtbl.replace t.segment_metas id meta
+      | exception Invalid_argument _ -> ());
+  Hashtbl.iter
+    (fun id meta ->
+      Allocator.mark_used t.alloc meta.Segment.members;
+      if id >= t.next_segment_id then t.next_segment_id <- id + 1)
+    t.segment_metas;
+  (* medium table *)
+  let rows = ref [] in
+  let max_medium = ref 0 in
+  Pyramid.iter_live t.mediums_pyr (fun ~key ~value ->
+      let id = Keys.medium_key_id key in
+      if id > !max_medium then max_medium := id;
+      match Medium.decode_extents value with
+      | extents -> rows := (id, extents) :: !rows
+      | exception Invalid_argument _ -> ());
+  let next_id = max medium_next_hint (!max_medium + 1) in
+  t.medium_table <- Medium.restore ~rows:!rows ~next_id;
+  t.medium_next_id <- next_id;
+  (* volumes *)
+  Hashtbl.reset t.volumes;
+  Pyramid.iter_live t.volumes_pyr (fun ~key ~value ->
+      match decode_volume_value value with
+      | v -> Hashtbl.replace t.volumes key v
+      | exception Invalid_argument _ -> ());
+  (* the sequence counter must move past everything rediscovered *)
+  List.iter
+    (fun pyr -> Seqno.restore_at_least t.seqno (Pyramid.max_seq pyr))
+    [ t.blocks; t.mediums_pyr; t.segments_pyr; t.volumes_pyr ]
+
+let recover ?(mode = Frontier_scan) t k =
+  let start = Clock.now t.clock in
+  let finish ~cold ~headers ~segments ~log_records ~nvram_records ~ckpt_bytes =
+    t.online <- true;
+    t.boot_time <- Clock.now t.clock;
+    k
+      {
+        mode;
+        duration_us = Clock.now t.clock -. start;
+        cold;
+        headers_scanned = headers;
+        segments_found = segments;
+        log_records;
+        nvram_records;
+        checkpoint_bytes = ckpt_bytes;
+      }
+  in
+  Boot_region.read t.boot (function
+    | None ->
+      (* factory-fresh array *)
+      finish ~cold:true ~headers:0 ~segments:0 ~log_records:0 ~nvram_records:0 ~ckpt_bytes:0
+    | Some blob ->
+      let bb = decode_boot blob in
+      Allocator.restore_persisted t.alloc bb.bb_frontier;
+      t.next_segment_id <- bb.bb_next_segment;
+      (* ids are never reused: pin the medium counter before anything can
+         allocate and rewrite the boot region *)
+      t.medium_next_id <- bb.bb_medium_next;
+      t.medium_table <- Medium.restore ~rows:[] ~next_id:bb.bb_medium_next;
+      Seqno.restore_at_least t.seqno bb.bb_seq;
+      t.checkpoint_dir <- bb.bb_dir;
+      t.boot_generation_written <- Allocator.persist_generation t.alloc;
+      (* load checkpoint patches *)
+      let ckpt_bytes = ref 0 in
+      let pyr_of_name name =
+        List.find_opt
+          (fun p -> Pyramid.name p = name)
+          [ t.blocks; t.mediums_pyr; t.segments_pyr; t.volumes_pyr ]
+      in
+      let ckpt_segments = ref [] in
+      let load_chunks chunks k =
+        let parts = Array.make (List.length chunks) "" in
+        let pending = ref (List.length chunks) in
+        if !pending = 0 then k ""
+        else
+          List.iteri
+            (fun i (meta_enc, off, len) ->
+              let meta = Segment.decode_compact meta_enc in
+              if not (Hashtbl.mem t.segment_metas meta.Segment.id) then begin
+                Hashtbl.replace t.segment_metas meta.Segment.id meta;
+                Allocator.mark_used t.alloc meta.Segment.members;
+                ckpt_segments := meta.Segment.id :: !ckpt_segments
+              end;
+              Io.read t.io meta ~off ~len (fun result ->
+                  (match result with
+                  | Ok data -> parts.(i) <- Bytes.to_string data
+                  | Error `Unrecoverable -> ());
+                  decr pending;
+                  if !pending = 0 then k (String.concat "" (Array.to_list parts))))
+            chunks
+      in
+      let rec load_dir dir k =
+        match dir with
+        | [] -> k ()
+        | (name, ranges, chunks) :: rest -> (
+          match pyr_of_name name with
+          | None -> load_dir rest k
+          | Some pyr ->
+            load_chunks chunks (fun blob ->
+                ckpt_bytes := !ckpt_bytes + String.length blob;
+                (if blob <> "" then
+                   match Patch.deserialize blob with
+                   | patch -> Pyramid.replace_patches pyr [ patch ]
+                   | exception Invalid_argument _ -> ());
+                (if ranges <> "" && Pyramid.policy_is_elision pyr then
+                   match Purity_encoding.Ranges.decode ranges with
+                   | r -> Pyramid.restore_elides pyr r
+                   | exception Invalid_argument _ -> ());
+                load_dir rest k))
+      in
+      load_dir bb.bb_dir (fun () ->
+          t.checkpoint_segments <- List.sort_uniq Int.compare !ckpt_segments;
+          (* scan for log records *)
+          let scan k =
+            match mode with
+            | Full_scan ->
+              let headers =
+                Array.fold_left
+                  (fun acc d ->
+                    if Drive.is_online d then acc + (Drive.config d).Drive.num_aus else acc)
+                  0 (Shelf.drives t.shelf)
+              in
+              Scan.scan_all ~layout:t.layout ~shelf:t.shelf (fun segs -> k (headers, segs))
+            | Frontier_scan ->
+              let slots = Allocator.persisted_frontier t.alloc in
+              Scan.scan_members ~layout:t.layout ~shelf:t.shelf slots (fun segs ->
+                  k (List.length slots, segs))
+          in
+          scan (fun (headers, segs) ->
+              (* install scanned segments and replay their log regions *)
+              List.iter
+                (fun (seg : Segment.t) ->
+                  if not (Hashtbl.mem t.segment_metas seg.Segment.id) then begin
+                    Hashtbl.replace t.segment_metas seg.Segment.id seg;
+                    Allocator.mark_used t.alloc seg.Segment.members
+                  end)
+                segs;
+              let with_logs =
+                List.filter (fun (s : Segment.t) -> s.Segment.log_len > 0) segs
+              in
+              let log_records = ref 0 in
+              let rec replay_logs = function
+                | [] -> after_logs ()
+                | (seg : Segment.t) :: rest ->
+                  Io.read t.io seg ~off:seg.Segment.log_off ~len:seg.Segment.log_len
+                    (fun result ->
+                      (match result with
+                      | Ok region ->
+                        List.iter
+                          (fun (_seq, record) ->
+                            log_records := !log_records + replay_log_record t record)
+                          (Writer.decode_log_region region)
+                      | Error `Unrecoverable -> ());
+                      replay_logs rest)
+              and after_logs () =
+                rebuild_derived t ~medium_next_hint:bb.bb_medium_next;
+                (* Segments known only from their scanned headers (their
+                   'S' fact was in an unflushed segio at the crash) must be
+                   re-persisted, or the next checkpoint would drop their
+                   AUs from the scan set and a later failover would lose
+                   them entirely. *)
+                List.iter
+                  (fun (seg : Segment.t) ->
+                    let key = Keys.segment_key seg.Segment.id in
+                    if Pyramid.find t.segments_pyr key = None then
+                      try ignore (put t t.segments_pyr ~key ~value:(Segment.encode_compact seg))
+                      with Out_of_space -> ())
+                  segs;
+                (* NVRAM intents: writes acked but possibly not in any
+                   flushed segio; reapply them through the write path *)
+                let records = Nvram.records (nvram t) in
+                let n = List.length records in
+                let route tag =
+                  match tag with
+                  | 'M' -> Some t.mediums_pyr
+                  | 'V' -> Some t.volumes_pyr
+                  | _ -> None
+                in
+                (* Replayed metadata must become durable again: its NVRAM
+                   record will be trimmed at the next segio flush, and the
+                   bare replay would leave the fact memtable-only. Going
+                   through [put]/[put_delete]/[put_elide] re-logs it into
+                   the new segio and re-stashes it with a fresh sequence
+                   number, so a second crash cannot lose it. *)
+                let replay_meta payload =
+                  let buf = Bytes.unsafe_of_string payload in
+                  if Bytes.length buf >= 2 then
+                    match route (Bytes.get buf 1) with
+                    | None -> ()
+                    | Some pyr -> (
+                      match Fact.decode buf ~pos:2 with
+                      | fact, _ -> (
+                        match fact.Fact.value with
+                        | Some value ->
+                          (try ignore (put t pyr ~key:fact.Fact.key ~value)
+                           with Out_of_space -> Pyramid.insert_fact pyr fact)
+                        | None ->
+                          (try ignore (put_delete t pyr ~key:fact.Fact.key)
+                           with Out_of_space -> Pyramid.insert_fact pyr fact))
+                      | exception Invalid_argument _ -> ())
+                in
+                let replay_elide payload =
+                  let buf = Bytes.unsafe_of_string payload in
+                  if Bytes.length buf >= 2 then
+                    match route (Bytes.get buf 1) with
+                    | None -> ()
+                    | Some pyr -> (
+                      match
+                        let _seq, p = Varint.read_i64 buf ~pos:2 in
+                        let lo, p = Varint.read buf ~pos:p in
+                        let hi, _ = Varint.read buf ~pos:p in
+                        (lo, hi)
+                      with
+                      | lo, hi -> (
+                        try ignore (put_elide t pyr ~lo ~hi)
+                        with Out_of_space ->
+                          Pyramid.elide_range pyr ~seq:(Seqno.next t.seqno) ~lo ~hi)
+                      | exception Invalid_argument _ -> ())
+                in
+                List.iter
+                  (fun (r : Nvram.record) ->
+                    let payload = r.Nvram.payload in
+                    if String.length payload > 0 then
+                      match payload.[0] with
+                      | 'W' -> (
+                        match Write_path.decode_intent payload with
+                        | medium, block, data ->
+                          (try Write_path.apply_write t ~medium ~block data
+                           with Out_of_space -> ());
+                          t.last_applied_intent <- r.Nvram.seq
+                        | exception Invalid_argument _ -> ())
+                      | 'F' -> replay_meta payload
+                      | 'E' -> replay_elide payload
+                      | _ -> ())
+                  records;
+                (* derived state again: replayed intents may have grown things *)
+                rebuild_derived t ~medium_next_hint:bb.bb_medium_next;
+                finish ~cold:false ~headers ~segments:(List.length segs)
+                  ~log_records:!log_records ~nvram_records:n ~ckpt_bytes:!ckpt_bytes
+              in
+              replay_logs with_logs)))

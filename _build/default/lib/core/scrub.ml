@@ -1,0 +1,91 @@
+(* Scrubbing (paper §5.1): "Purity periodically scrubs the underlying
+   storage to proactively detect data loss. Worn-out flash leaks charge
+   faster than new flash ... periodically scrubbing and rewriting data
+   ensures that the worn-out flash is rewritten more frequently than the
+   P/E calculations assumed."
+
+   The scrubber reads every member AU of every live segment directly
+   (bypassing the read scheduler so latent corruption is actually
+   observed) and relocates any segment with a corrupt page — the rewrite
+   both repairs the copy via Reed-Solomon and resets the data's retention
+   clock. *)
+
+open State
+
+type report = {
+  segments_checked : int;
+  members_read : int;
+  corrupt_members : int;
+  segments_relocated : int;
+  duration_us : float;
+}
+
+(* Check a segment's members; true if any read came back corrupt. *)
+let check_segment t (meta : Segment.t) k =
+  let pending = ref 0 in
+  let corrupt = ref 0 in
+  let members_read = ref 0 in
+  let finish () = k (!corrupt, !members_read) in
+  Array.iter
+    (fun (m : Segment.member) ->
+      let d = Shelf.drive t.shelf m.Segment.drive in
+      if Drive.is_online d then begin
+        let fill = Drive.au_fill d ~au:m.Segment.au in
+        if fill > 0 then begin
+          incr pending;
+          incr members_read;
+          Drive.read d ~au:m.Segment.au ~off:0 ~len:fill (fun result ->
+              (match result with Error (`Corrupt _) -> incr corrupt | _ -> ());
+              decr pending;
+              if !pending = 0 then finish ())
+        end
+      end)
+    meta.Segment.members;
+  if !pending = 0 then finish ()
+
+let run t k =
+  let start = Clock.now t.clock in
+  let open_id = match t.open_writer with Some w -> Writer.id w | None -> -1 in
+  let targets =
+    Hashtbl.fold (fun id m acc -> if id = open_id then acc else (id, m) :: acc) t.segment_metas []
+  in
+  let live = lazy (Gc.liveness t) in
+  let checked = ref 0 and members = ref 0 and corrupt = ref 0 in
+  let to_relocate = ref [] in
+  let rec scan = function
+    | [] -> relocate ()
+    | (seg_id, meta) :: rest ->
+      incr checked;
+      check_segment t meta (fun (c, reads) ->
+          members := !members + reads;
+          if c > 0 then begin
+            corrupt := !corrupt + c;
+            to_relocate := seg_id :: !to_relocate
+          end;
+          scan rest)
+  and relocate () =
+    let content_cache = Hashtbl.create 16 in
+    let counters = (ref 0, ref 0, ref 0) in
+    let released = ref [] in
+    let rec go = function
+      | [] ->
+        seal_current t;
+        when_flushed t (fun () ->
+            List.iter (Gc.release_segment t) !released;
+            k
+              {
+                segments_checked = !checked;
+                members_read = !members;
+                corrupt_members = !corrupt;
+                segments_relocated = List.length !released;
+                duration_us = Clock.now t.clock -. start;
+              })
+      | seg_id :: rest ->
+        Gc.relocate_segment t ~live:(Lazy.force live) ~content_cache ~counters seg_id
+          (fun ok ->
+            if ok then released := seg_id :: !released;
+            go rest)
+    in
+    go !to_relocate
+  in
+  scan targets

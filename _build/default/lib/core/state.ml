@@ -1,0 +1,682 @@
+(* Shared state of one Purity array (controller-resident volatile state
+   plus handles to the shelf's persistent devices). The public facade is
+   {!Array_}; the write/read/GC/recovery paths live in sibling modules
+   operating over this record. *)
+
+module Clock = Purity_sim.Clock
+module Rng = Purity_util.Rng
+module Histogram = Purity_util.Histogram
+module Varint = Purity_util.Varint
+module Shelf = Purity_ssd.Shelf
+module Drive = Purity_ssd.Drive
+module Nvram = Purity_ssd.Nvram
+module Rs = Purity_erasure.Reed_solomon
+module Layout = Purity_segment.Layout
+module Segment = Purity_segment.Segment
+module Allocator = Purity_segment.Allocator
+module Writer = Purity_segment.Writer
+module Scan = Purity_segment.Scan
+module Io = Purity_sched.Io
+module Pyramid = Purity_pyramid.Pyramid
+module Fact = Purity_pyramid.Fact
+module Patch = Purity_pyramid.Patch
+module Seqno = Purity_pyramid.Seqno
+module Medium = Purity_medium.Medium
+module Dedup = Purity_dedup.Dedup
+module Cblock = Purity_compress.Cblock
+
+let block_size = 512
+let max_cblock_blocks = Cblock.max_logical / block_size
+
+type config = {
+  drives : int;
+  drive_config : Drive.config;
+  k : int;
+  m : int;
+  write_unit : int;
+  nvram_capacity : int;
+  memtable_flush : int;
+  read_around_write : bool;
+  p95_backup : bool;
+  max_segment_writers : int;
+  inline_dedup : bool;
+  compression : bool;
+  dedup_config : Dedup.config;
+  checkpoint_every_writes : int; (* 0 = manual checkpoints only *)
+  read_cache_entries : int; (* cblock frames cached in controller DRAM; 0 = off *)
+  secondary_warming : bool;
+      (* paper 4.3: the primary asynchronously warms the spare's cache, so
+         a failover starts warm instead of cold *)
+  seed : int64;
+}
+
+let default_config =
+  {
+    drives = 11;
+    drive_config =
+      {
+        Drive.default_config with
+        (* header page + 16 rows of 32 KiB write units *)
+        Drive.au_size = 4096 + (16 * 32768);
+        num_aus = 128;
+        dies = 8;
+      };
+    k = 7;
+    m = 2;
+    write_unit = 32 * 1024;
+    nvram_capacity = 16 * 1024 * 1024;
+    memtable_flush = 4096;
+    read_around_write = true;
+    p95_backup = false;
+    max_segment_writers = 2;
+    inline_dedup = true;
+    compression = true;
+    dedup_config = Dedup.default_config;
+    checkpoint_every_writes = 0;
+    read_cache_entries = 4096;
+    secondary_warming = true;
+    seed = 0x5EEDL;
+  }
+
+type volume_kind = Volume | Snapshot
+
+(* Paper 4.6: instead of per-volume block-size tuning knobs, the array
+   observes each volume's write sizes and sizes cblocks to match, so
+   later reads (which overwhelmingly use the same size and alignment as
+   the write that created the data) fetch a single cblock. *)
+type io_observer = {
+  mutable size_counts : int array; (* histogram over power-of-two block counts 1..64 *)
+  mutable observed : int;
+}
+
+type volume = {
+  mutable medium : int;
+  mutable blocks : int;
+  kind : volume_kind;
+  observer : io_observer;
+}
+
+let fresh_observer () = { size_counts = Array.make 7 0; observed = 0 }
+
+let observe_write obs ~nblocks =
+  (* bucket by power of two: 1,2,4,8,16,32,64 blocks (512 B - 32 KiB) *)
+  let rec bucket i cap = if nblocks <= cap || i = 6 then i else bucket (i + 1) (cap * 2) in
+  let b = bucket 0 1 in
+  obs.size_counts.(b) <- obs.size_counts.(b) + 1;
+  obs.observed <- obs.observed + 1
+
+(* The dominant write size (in 512 B blocks), defaulting to the 32 KiB
+   maximum until enough evidence accumulates. *)
+let inferred_io_blocks obs =
+  if obs.observed < 16 then 64
+  else begin
+    let best = ref 6 and best_count = ref 0 in
+    Array.iteri
+      (fun i c ->
+        if c > !best_count then begin
+          best := i;
+          best_count := c
+        end)
+      obs.size_counts;
+    1 lsl !best
+  end
+
+type write_stats = {
+  mutable app_writes : int;
+  mutable logical_bytes : int; (* application bytes ever written *)
+  mutable stored_bytes : int; (* cblock frames appended to segments *)
+  mutable dedup_blocks : int; (* 512B blocks absorbed by inline dedup *)
+  mutable gc_dedup_blocks : int; (* cblocks collapsed by the GC pass *)
+}
+
+type t = {
+  cfg : config;
+  clock : Clock.t;
+  shelf : Shelf.t;
+  layout : Layout.t;
+  rs : Rs.t;
+  io : Io.t;
+  alloc : Allocator.t;
+  boot : Boot_region.t;
+  seqno : Seqno.t;
+  (* relations *)
+  blocks : Pyramid.t; (* (medium, block) -> Blockref; elide by medium *)
+  mediums_pyr : Pyramid.t; (* medium -> extents; elide by medium *)
+  segments_pyr : Pyramid.t; (* segment -> compact meta; tombstones *)
+  volumes_pyr : Pyramid.t; (* name -> (kind, medium, blocks); tombstones *)
+  (* volatile derived state *)
+  mutable medium_table : Medium.t;
+  volumes : (string, volume) Hashtbl.t;
+  segment_metas : (int, Segment.t) Hashtbl.t;
+  mutable checkpoint_segments : int list; (* hold the current checkpoint *)
+  mutable next_segment_id : int;
+  mutable open_writer : Writer.t option;
+  unflushed : (int, Writer.t) Hashtbl.t;
+      (* segios (open or sealed) whose bytes are not yet on the drives;
+         reads of their payload are served from RAM *)
+  mutable flushes_in_order : (int * int64) Queue.t; (* seg id, seal seq *)
+  flushed : (int, unit) Hashtbl.t;
+  mutable writes_since_checkpoint : int;
+  mutable last_applied_intent : int64;
+      (* highest NVRAM intent fully applied to segios; the safe trim
+         watermark when the current segio seals *)
+  mutable pending_flush_count : int;
+  mutable flush_waiters : (unit -> unit) list;
+  flush_queue : Writer.t Queue.t;
+      (* sealed segios awaiting flush: flushed one at a time so that at
+         most [max_segment_writers] drives in the whole array are
+         programming simultaneously (the §4.4 discipline that keeps
+         read-around-write amplification near the paper's 1.3x) *)
+  mutable flush_active : bool;
+  mutable checkpoint_dir : (string * string * (string * int * int) list) list;
+      (* last checkpoint's patch directory: pyramid name, encoded elide
+         ranges (empty for tombstone tables), chunks as (compact segment
+         meta, payload off, len) *)
+  mutable medium_next_id : int;
+  mutable boot_generation_written : int;
+  dedup : Dedup.t;
+  dedup_locs : (int, Blockref.t) Hashtbl.t; (* dedup write id -> cblock home *)
+  read_cache : (int * int, string) Purity_util.Lru.t; (* (segment, off) -> frame *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  (* accounting *)
+  write_lat : Histogram.t;
+  read_lat : Histogram.t;
+  ws : write_stats;
+  mutable online : bool;
+  mutable crashed_at : float option;
+  mutable downtime_us : float;
+  mutable boot_time : float;
+}
+
+let blocks_policy = Pyramid.Elide (fun f -> Keys.block_key_medium f.Fact.key)
+let mediums_policy = Pyramid.Elide (fun f -> Keys.medium_key_id f.Fact.key)
+
+let fresh_volatile cfg clock =
+  let memtable_flush_count = cfg.memtable_flush in
+  ( Pyramid.create ~memtable_flush_count ~policy:blocks_policy ~name:"blocks" (),
+    Pyramid.create ~memtable_flush_count ~policy:mediums_policy ~name:"mediums" (),
+    Pyramid.create ~memtable_flush_count ~policy:Pyramid.Tombstones ~name:"segments" (),
+    Pyramid.create ~memtable_flush_count ~policy:Pyramid.Tombstones ~name:"volumes" (),
+    ignore clock )
+
+let create_over ~config ~clock ~shelf ~boot () =
+  let layout =
+    Layout.make ~k:config.k ~m:config.m ~write_unit:config.write_unit
+      ~au_size:config.drive_config.Drive.au_size ()
+  in
+  let rs = Rs.create ~k:config.k ~m:config.m in
+  let io =
+    Io.create ~layout ~shelf ~rs ~read_around_write:config.read_around_write
+      ~p95_backup:config.p95_backup ()
+  in
+  let alloc =
+    Allocator.create ~layout ~drives:config.drives
+      ~aus_per_drive:config.drive_config.Drive.num_aus ()
+  in
+  let blocks, mediums_pyr, segments_pyr, volumes_pyr, () = fresh_volatile config clock in
+  {
+    cfg = config;
+    clock;
+    shelf;
+    layout;
+    rs;
+    io;
+    alloc;
+    boot;
+    seqno = Seqno.create ();
+    blocks;
+    mediums_pyr;
+    segments_pyr;
+    volumes_pyr;
+    medium_table = Medium.create ();
+    volumes = Hashtbl.create 16;
+    segment_metas = Hashtbl.create 64;
+    checkpoint_segments = [];
+    next_segment_id = 1;
+    open_writer = None;
+    unflushed = Hashtbl.create 8;
+    flushes_in_order = Queue.create ();
+    flushed = Hashtbl.create 16;
+    writes_since_checkpoint = 0;
+    last_applied_intent = 0L;
+    pending_flush_count = 0;
+    flush_waiters = [];
+    flush_queue = Queue.create ();
+    flush_active = false;
+    checkpoint_dir = [];
+    medium_next_id = 1;
+    boot_generation_written = 0;
+    dedup = Dedup.create ~config:config.dedup_config ();
+    dedup_locs = Hashtbl.create 1024;
+    read_cache = Purity_util.Lru.create ~capacity:(max 1 config.read_cache_entries);
+    cache_hits = 0;
+    cache_misses = 0;
+    write_lat = Histogram.create ();
+    read_lat = Histogram.create ();
+    ws =
+      { app_writes = 0; logical_bytes = 0; stored_bytes = 0; dedup_blocks = 0; gc_dedup_blocks = 0 };
+    online = true;
+    crashed_at = None;
+    downtime_us = 0.0;
+    boot_time = Clock.now clock;
+  }
+
+let create ?(config = default_config) ~clock () =
+  let rng = Rng.create ~seed:config.seed in
+  let shelf =
+    Shelf.create ~drive_config:config.drive_config ~nvram_capacity:config.nvram_capacity
+      ~clock ~rng ~drives:config.drives ()
+  in
+  let boot = Boot_region.create ~clock () in
+  create_over ~config ~clock ~shelf ~boot ()
+
+let nvram t = Shelf.nvram t.shelf
+let online_drive t d = Drive.is_online (Shelf.drive t.shelf d)
+
+(* ---------- fact logging: every metadata mutation is also a log record
+   in the current segio, so recovery can rediscover it (Figure 4). ---- *)
+
+let table_tag pyr_name =
+  match pyr_name with
+  | "blocks" -> 'B'
+  | "mediums" -> 'M'
+  | "segments" -> 'S'
+  | "volumes" -> 'V'
+  | _ -> invalid_arg "unknown table"
+
+exception Out_of_space
+
+(* Forward reference: writer_with_room must persist the boot region when
+   an allocation changed the frontier, but the encoder is defined below. *)
+let boot_persist_hook : (t -> unit) ref = ref (fun _ -> ())
+
+(* Reserve a single replacement AU on a healthy drive (for segio member
+   remaps), erasing any stale contents before use. *)
+let allocate_replacement t ~exclude =
+  match
+    Allocator.allocate_one t.alloc ~allowed:(fun d ->
+        online_drive t d && not (List.mem d exclude))
+  with
+  | None -> None
+  | Some (m : Segment.member) ->
+    let d = Shelf.drive t.shelf m.Segment.drive in
+    if Drive.is_online d && Drive.au_fill d ~au:m.Segment.au > 0 then
+      Drive.trim_au d ~au:m.Segment.au;
+    Some m
+
+(* Open (allocating if needed) a segment writer with room for [need] more
+   payload bytes. Sealing the previous writer is asynchronous; its pages
+   are already staged so ordering is preserved. *)
+let rec writer_with_room t ~need =
+  if not t.online then raise Out_of_space (* dead controllers allocate nothing *);
+  if need > Layout.payload_capacity t.layout then
+    invalid_arg "writer_with_room: larger than a segment";
+  let fresh () =
+    match Allocator.allocate t.alloc ~online:(online_drive t) with
+    | None -> raise Out_of_space
+    | Some members ->
+      let id = t.next_segment_id in
+      t.next_segment_id <- id + 1;
+      (* erase-before-reuse: an AU can reach the pool still holding data
+         (released while its drive was offline, or torn by a crashed
+         controller's aborted flush); trim it now so the append-only
+         contract holds *)
+      Array.iter
+        (fun (m : Segment.member) ->
+          let d = Shelf.drive t.shelf m.Segment.drive in
+          if Drive.is_online d && Drive.au_fill d ~au:m.Segment.au > 0 then
+            Drive.trim_au d ~au:m.Segment.au)
+        members;
+      let w = Writer.create ~layout:t.layout ~shelf:t.shelf ~rs:t.rs ~members ~id in
+      t.open_writer <- Some w;
+      Hashtbl.replace t.unflushed id w;
+      (* a refill may have changed the persisted frontier: rewrite the
+         boot region before this segment accumulates log records *)
+      !boot_persist_hook t;
+      w
+  in
+  match t.open_writer with
+  | None -> fresh ()
+  | Some w ->
+    (* a member drive failing after allocation abandons the segio for new
+       appends: writes shift to a fully-online write group *)
+    let members_online =
+      Array.for_all
+        (fun (m : Segment.member) -> online_drive t m.Segment.drive)
+        (Writer.members w)
+    in
+    if Writer.remaining w >= need && members_online then w
+    else begin
+      seal_current t;
+      writer_with_room t ~need
+    end
+
+(* Seal the open segio: flush it to the drives, register its meta, trim
+   the NVRAM records it covers. *)
+and seal_current t =
+  match t.open_writer with
+  | None -> ()
+  | Some w ->
+    t.open_writer <- None;
+    if Writer.is_empty w then begin
+      (* never written: hand the AUs back *)
+      Hashtbl.remove t.unflushed (Writer.id w);
+      Allocator.release t.alloc (Writer.members w)
+    end
+    else begin
+      (* Members whose drive failed since allocation are remapped to fresh
+         AUs on healthy drives — the shard data is still in RAM, so the
+         stripe reaches the media at full 7+2 redundancy instead of
+         flushing already-degraded. *)
+      let members = Writer.members w in
+      Array.iteri
+        (fun i (m : Segment.member) ->
+          if not (online_drive t m.Segment.drive) then begin
+            let exclude =
+              Array.to_list (Array.map (fun (x : Segment.member) -> x.Segment.drive) members)
+            in
+            match allocate_replacement t ~exclude with
+            | Some repl ->
+              Allocator.release t.alloc [| m |];
+              Writer.set_member w ~index:i repl
+            | None -> () (* no healthy spare drive: flush degraded *)
+          end)
+        members;
+      (* Only intents fully applied before this seal are guaranteed to be
+         inside this (or an earlier) segio; later intents must stay in
+         NVRAM until their own segio flushes. *)
+      let seal_seq = t.last_applied_intent in
+      Queue.add (Writer.id w, seal_seq) t.flushes_in_order;
+      t.pending_flush_count <- t.pending_flush_count + 1;
+      Queue.add w t.flush_queue;
+      pump_flush t
+    end
+
+(* Flush sealed segios one at a time (array-wide write staggering). *)
+and pump_flush t =
+  if t.online && (not t.flush_active) && not (Queue.is_empty t.flush_queue) then begin
+    t.flush_active <- true;
+    let w = Queue.pop t.flush_queue in
+    let remap ~exclude = allocate_replacement t ~exclude in
+    Writer.finalize w ~max_writers:t.cfg.max_segment_writers ~remap (fun seg ->
+        Hashtbl.replace t.segment_metas seg.Segment.id seg;
+        Hashtbl.remove t.unflushed seg.Segment.id;
+        (* the segment table fact describes the sealed segment *)
+        let seq = Seqno.next t.seqno in
+        Pyramid.insert t.segments_pyr ~seq ~key:(Keys.segment_key seg.Segment.id)
+          ~value:(Segment.encode_compact seg);
+        log_fact t 'S'
+          (Fact.make ~key:(Keys.segment_key seg.Segment.id)
+             ~value:(Segment.encode_compact seg) ~seq);
+        (* in-order NVRAM trim *)
+        Hashtbl.replace t.flushed seg.Segment.id ();
+        let continue = ref true in
+        while !continue do
+          match Queue.peek_opt t.flushes_in_order with
+          | Some (id, upto) when Hashtbl.mem t.flushed id ->
+            ignore (Queue.pop t.flushes_in_order);
+            Hashtbl.remove t.flushed id;
+            Nvram.trim_upto (nvram t) upto
+          | _ -> continue := false
+        done;
+        t.pending_flush_count <- t.pending_flush_count - 1;
+        t.flush_active <- false;
+        pump_flush t;
+        if t.pending_flush_count = 0 then begin
+          let waiters = List.rev t.flush_waiters in
+          t.flush_waiters <- [];
+          List.iter (fun f -> f ()) waiters
+        end)
+  end
+
+(* Append one framed log record, rolling segments as needed. *)
+and append_log_record t ~seq record =
+  let need = String.length record + 16 in
+  let w = writer_with_room t ~need in
+  if not (Writer.append_log w ~seq record) then begin
+    seal_current t;
+    let w = writer_with_room t ~need in
+    if not (Writer.append_log w ~seq record) then raise Out_of_space
+  end
+
+and log_fact t tag fact =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf tag;
+  Fact.encode buf fact;
+  append_log_record t ~seq:fact.Fact.seq (Buffer.contents buf)
+
+(* Store a data blob (cblock frame or patch chunk) in the current segio.
+   Returns (segment id, payload offset). *)
+let store_blob t data =
+  let need = String.length data + 16 in
+  if need > Layout.payload_capacity t.layout then invalid_arg "store_blob: blob too large";
+  let w = writer_with_room t ~need in
+  match Writer.append_data w data with
+  | Some off -> (Writer.id w, off)
+  | None -> (
+    seal_current t;
+    let w = writer_with_room t ~need in
+    match Writer.append_data w data with
+    | Some off -> (Writer.id w, off)
+    | None -> raise Out_of_space)
+
+let log_elide t tag ~seq ~lo ~hi =
+  let buf = Buffer.create 16 in
+  Buffer.add_char buf 'e';
+  Buffer.add_char buf tag;
+  Varint.write_i64 buf seq;
+  Varint.write buf lo;
+  Varint.write buf hi;
+  append_log_record t ~seq (Buffer.contents buf)
+
+(* Metadata of the volume/medium tables is additionally committed to
+   NVRAM (fire-and-forget: the model's log state mutates at call time), so
+   namespace operations survive a crash even when their segio log records
+   were still in RAM. Block facts don't need this: the write intent that
+   produced them is already in NVRAM. *)
+let nvram_backed tag = tag = 'M' || tag = 'V'
+
+let stash_fact t tag fact =
+  if nvram_backed tag then begin
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf 'F';
+    Buffer.add_char buf tag;
+    Fact.encode buf fact;
+    Nvram.commit (nvram t)
+      { Nvram.seq = fact.Fact.seq; payload = Buffer.contents buf }
+      (fun _ -> ())
+  end
+
+let stash_elide t tag ~seq ~lo ~hi =
+  if nvram_backed tag then begin
+    let buf = Buffer.create 24 in
+    Buffer.add_char buf 'E';
+    Buffer.add_char buf tag;
+    Varint.write_i64 buf seq;
+    Varint.write buf lo;
+    Varint.write buf hi;
+    Nvram.commit (nvram t) { Nvram.seq = seq; payload = Buffer.contents buf } (fun _ -> ())
+  end
+
+(* Insert + log helpers used by all mutation paths. *)
+let put t pyr ~key ~value =
+  let seq = Seqno.next t.seqno in
+  let fact = Fact.make ~key ~value ~seq in
+  Pyramid.insert_fact pyr fact;
+  let tag = table_tag (Pyramid.name pyr) in
+  log_fact t tag fact;
+  stash_fact t tag fact;
+  seq
+
+let put_delete t pyr ~key =
+  let seq = Seqno.next t.seqno in
+  let fact = Fact.tombstone ~key ~seq in
+  Pyramid.insert_fact pyr fact;
+  let tag = table_tag (Pyramid.name pyr) in
+  log_fact t tag fact;
+  stash_fact t tag fact;
+  seq
+
+let put_elide t pyr ~lo ~hi =
+  let seq = Seqno.next t.seqno in
+  Pyramid.elide_range pyr ~seq ~lo ~hi;
+  let tag = table_tag (Pyramid.name pyr) in
+  log_elide t tag ~seq ~lo ~hi;
+  stash_elide t tag ~seq ~lo ~hi;
+  seq
+
+(* Persist the current extent rows of a medium as a fact. *)
+let persist_medium t id =
+  let extents = Medium.extents t.medium_table id in
+  ignore (put t t.mediums_pyr ~key:(Keys.medium_key id) ~value:(Medium.encode_extents extents))
+
+let encode_volume_value v =
+  let buf = Buffer.create 8 in
+  Buffer.add_char buf (match v.kind with Volume -> 'V' | Snapshot -> 'S');
+  Varint.write buf v.medium;
+  Varint.write buf v.blocks;
+  Buffer.contents buf
+
+let decode_volume_value s =
+  let buf = Bytes.unsafe_of_string s in
+  let kind = match Bytes.get buf 0 with 'V' -> Volume | 'S' -> Snapshot | _ -> invalid_arg "volume value" in
+  let medium, p = Varint.read buf ~pos:1 in
+  let blocks, _ = Varint.read buf ~pos:p in
+  { medium; blocks; kind; observer = fresh_observer () }
+
+let persist_volume t name v =
+  ignore (put t t.volumes_pyr ~key:name ~value:(encode_volume_value v))
+
+let lookup_blockref t ~medium ~block =
+  match Pyramid.find t.blocks (Keys.block_key ~medium ~block) with
+  | Some v -> Some (Blockref.decode v)
+  | None -> None
+
+(* Nearest level of the medium chain holding this block. *)
+let resolve_block t ~medium ~block =
+  let chain = Medium.resolve t.medium_table medium ~block in
+  List.find_map (fun (med, blk) -> lookup_blockref t ~medium:med ~block:blk) chain
+
+let find_segment t id = Hashtbl.find_opt t.segment_metas id
+
+(* A medium "has blocks" in [lo..hi] iff the block index holds a live fact
+   there — the predicate the GC feeds to Medium.shortcut. *)
+let medium_has_blocks t ~medium ~lo ~hi =
+  Pyramid.range t.blocks ~lo:(Keys.block_key ~medium ~block:lo)
+    ~hi:(Keys.block_key ~medium ~block:hi)
+  <> []
+
+(* Run [k] once every sealed segio has finished flushing to the drives. *)
+let when_flushed t k =
+  if t.pending_flush_count = 0 then Clock.schedule t.clock ~delay:0.0 k
+  else t.flush_waiters <- t.flush_waiters @ [ k ]
+
+(* ---------- boot-region blob ---------- *)
+
+let encode_boot t =
+  let buf = Buffer.create 512 in
+  Varint.write buf 1;
+  let frontier = Allocator.encode_persisted t.alloc in
+  Varint.write buf (String.length frontier);
+  Buffer.add_string buf frontier;
+  Varint.write buf t.next_segment_id;
+  Varint.write buf t.medium_next_id;
+  Varint.write_i64 buf (Seqno.current t.seqno);
+  Varint.write buf (List.length t.checkpoint_dir);
+  List.iter
+    (fun (name, ranges, chunks) ->
+      Varint.write buf (String.length name);
+      Buffer.add_string buf name;
+      Varint.write buf (String.length ranges);
+      Buffer.add_string buf ranges;
+      Varint.write buf (List.length chunks);
+      List.iter
+        (fun (meta, off, len) ->
+          Varint.write buf (String.length meta);
+          Buffer.add_string buf meta;
+          Varint.write buf off;
+          Varint.write buf len)
+        chunks)
+    t.checkpoint_dir;
+  Buffer.contents buf
+
+type boot_blob = {
+  bb_frontier : string;
+  bb_next_segment : int;
+  bb_medium_next : int;
+  bb_seq : int64;
+  bb_dir : (string * string * (string * int * int) list) list;
+}
+
+let decode_boot s =
+  let buf = Bytes.unsafe_of_string s in
+  let _v, p = Varint.read buf ~pos:0 in
+  let flen, p = Varint.read buf ~pos:p in
+  let frontier = Bytes.sub_string buf p flen in
+  let p = p + flen in
+  let next_segment, p = Varint.read buf ~pos:p in
+  let medium_next, p = Varint.read buf ~pos:p in
+  let seq, p = Varint.read_i64 buf ~pos:p in
+  let ndirs, p = Varint.read buf ~pos:p in
+  let pos = ref p in
+  let read_str () =
+    let len, p1 = Varint.read buf ~pos:!pos in
+    let s = Bytes.sub_string buf p1 len in
+    pos := p1 + len;
+    s
+  in
+  let dir =
+    List.init ndirs (fun _ ->
+        let name = read_str () in
+        let ranges = read_str () in
+        let nchunks, p1 = Varint.read buf ~pos:!pos in
+        pos := p1;
+        let chunks =
+          List.init nchunks (fun _ ->
+              let meta = read_str () in
+              let off, p2 = Varint.read buf ~pos:!pos in
+              let len, p3 = Varint.read buf ~pos:p2 in
+              pos := p3;
+              (meta, off, len))
+        in
+        (name, ranges, chunks))
+  in
+  {
+    bb_frontier = frontier;
+    bb_next_segment = next_segment;
+    bb_medium_next = medium_next;
+    bb_seq = seq;
+    bb_dir = dir;
+  }
+
+(* Rewrite the boot region when the allocator's persisted sets changed
+   (fire-and-forget; frontier refills run well before the fresh AUs are
+   written, so the window between refill and durability is tiny — see
+   DESIGN.md). *)
+let maybe_persist_boot t =
+  (* a dead controller must never clobber the live one's boot region *)
+  let gen = Allocator.persist_generation t.alloc in
+  if t.online && gen <> t.boot_generation_written then begin
+    t.boot_generation_written <- gen;
+    t.medium_next_id <- max t.medium_next_id (Medium.peek_next_id t.medium_table);
+    Boot_region.write t.boot (encode_boot t) (fun () -> ())
+  end
+
+let () = boot_persist_hook := maybe_persist_boot
+
+(* Controller death: stop every in-flight flush and queued segio. Called
+   by Flash_array.crash after clearing [online]. *)
+let halt_device_activity t =
+  Hashtbl.iter (fun _ w -> Writer.abort w) t.unflushed;
+  Queue.clear t.flush_queue;
+  t.flush_active <- false
+
+(* Paper 4.3: "the primary controller asynchronously warms the cache of
+   the secondary". At failover the spare therefore starts with (most of)
+   the primary's read cache instead of a cold one. *)
+let warm_cache ~from ~into =
+  if into.cfg.secondary_warming then
+    Purity_util.Lru.fold
+      (fun key frame () -> Purity_util.Lru.add into.read_cache key frame)
+      from.read_cache ()

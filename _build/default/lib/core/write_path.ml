@@ -1,0 +1,171 @@
+(* The write path (paper §4.2, Figure 4, §4.6, §4.7):
+
+   application write -> NVRAM commit (durability ack) -> inline dedup ->
+   compression into cblocks -> segio append + block-index facts (also
+   logged into the segio) -> asynchronous segment flush.
+
+   A write's data is split into <= 32 KiB chunks (cblocks are "sized to
+   match application writes, up to 32 KiB"); inline dedup carves verified
+   duplicate runs out of each chunk, and only the fresh remainder is
+   compressed and stored. *)
+
+open State
+module Fact = Purity_pyramid.Fact
+
+type error =
+  [ `No_such_volume
+  | `Read_only
+  | `Out_of_range
+  | `Unaligned
+  | `Backpressure  (** NVRAM full: the segment writer has fallen behind *)
+  | `No_space
+  | `Offline ]
+
+let encode_intent ~medium ~block data =
+  let buf = Buffer.create (String.length data + 16) in
+  Buffer.add_char buf 'W';
+  Varint.write buf medium;
+  Varint.write buf block;
+  Varint.write buf (String.length data);
+  Buffer.add_string buf data;
+  Buffer.contents buf
+
+let decode_intent s =
+  let buf = Bytes.unsafe_of_string s in
+  if Bytes.length buf = 0 || Bytes.get buf 0 <> 'W' then
+    invalid_arg "decode_intent: not a write intent";
+  let medium, p = Varint.read buf ~pos:1 in
+  let block, p = Varint.read buf ~pos:p in
+  let len, p = Varint.read buf ~pos:p in
+  if p + len > Bytes.length buf then invalid_arg "decode_intent: truncated";
+  (medium, block, Bytes.sub_string buf p len)
+
+(* Record one block-index fact (and its log record). *)
+let put_block t ~medium ~block (r : Blockref.t) =
+  ignore (put t t.blocks ~key:(Keys.block_key ~medium ~block) ~value:(Blockref.encode r))
+
+(* Store one fresh run of blocks as a cblock; returns its home. *)
+let store_run t data =
+  let cb =
+    if t.cfg.compression then Cblock.of_data data
+    else { Cblock.logical_len = String.length data; encoding = Cblock.Raw; payload = data }
+  in
+  let buf = Buffer.create (String.length data + 16) in
+  Cblock.encode buf cb;
+  let frame = Buffer.contents buf in
+  let segment, off = store_blob t frame in
+  t.ws.stored_bytes <- t.ws.stored_bytes + String.length frame;
+  { Blockref.segment; off; stored_len = String.length frame; index = 0 }
+
+(* Apply one <=32 KiB chunk: dedup the duplicate runs, store the rest. *)
+let apply_chunk t ~medium ~first_block data =
+  let nblocks = String.length data / block_size in
+  let hits = if t.cfg.inline_dedup then Dedup.find_duplicates t.dedup data else [] in
+  (* translate hits whose source cblock still exists; drop the rest *)
+  let hits =
+    List.filter_map
+      (fun (h : Dedup.hit) ->
+        match Hashtbl.find_opt t.dedup_locs h.Dedup.src.Dedup.write_id with
+        | Some base
+          when Hashtbl.mem t.segment_metas base.Blockref.segment
+               || Hashtbl.mem t.unflushed base.Blockref.segment ->
+          Some (h, base)
+        | _ -> None)
+      hits
+  in
+  let covered = Array.make nblocks false in
+  List.iter
+    (fun ((h : Dedup.hit), (base : Blockref.t)) ->
+      for i = 0 to h.Dedup.run_blocks - 1 do
+        let blk = h.Dedup.at_block + i in
+        covered.(blk) <- true;
+        put_block t ~medium ~block:(first_block + blk)
+          { base with Blockref.index = h.Dedup.src.Dedup.block + i };
+        t.ws.dedup_blocks <- t.ws.dedup_blocks + 1
+      done)
+    hits;
+  (* store the uncovered runs *)
+  let i = ref 0 in
+  while !i < nblocks do
+    if covered.(!i) then incr i
+    else begin
+      let start = !i in
+      while !i < nblocks && not covered.(!i) do
+        incr i
+      done;
+      let run_blocks = !i - start in
+      let run = String.sub data (start * block_size) (run_blocks * block_size) in
+      let base = store_run t run in
+      (* register the fresh run so future writes can dedup against it *)
+      if t.cfg.inline_dedup then begin
+        let wid = Dedup.register t.dedup run in
+        Hashtbl.replace t.dedup_locs wid base
+      end;
+      for b = 0 to run_blocks - 1 do
+        put_block t ~medium ~block:(first_block + start + b)
+          { base with Blockref.index = b }
+      done
+    end
+  done
+
+let apply_write ?(io_blocks = Cblock.max_logical / block_size) t ~medium ~block data =
+  let len = String.length data in
+  (* cblocks are "sized to match application writes, up to 32 KiB": chunk
+     at the volume's inferred write size so small rereads hit one cblock *)
+  let chunk = max block_size (min Cblock.max_logical (io_blocks * block_size)) in
+  let off = ref 0 in
+  while !off < len do
+    let n = min chunk (len - !off) in
+    apply_chunk t ~medium ~first_block:(block + (!off / block_size))
+      (String.sub data !off n);
+    off := !off + n
+  done
+
+(* Public entry: write [data] (a multiple of 512 B) at [block] of [volume].
+   The callback fires when the write is durable (NVRAM commit complete). *)
+let write t ~volume ~block data k =
+  let start = Clock.now t.clock in
+  let fail e = Clock.schedule t.clock ~delay:0.0 (fun () -> k (Error e)) in
+  if not t.online then fail `Offline
+  else
+    match Hashtbl.find_opt t.volumes volume with
+    | None -> fail `No_such_volume
+    | Some v when v.kind = Snapshot -> fail `Read_only
+    | Some v ->
+      let len = String.length data in
+      if len = 0 || len mod block_size <> 0 then fail `Unaligned
+      else if block < 0 || block + (len / block_size) > v.blocks then fail `Out_of_range
+      else begin
+        observe_write v.observer ~nblocks:(len / block_size);
+        match Medium.write_target t.medium_table v.medium ~block with
+        | Error `Read_only -> fail `Read_only
+        | Error (`Out_of_range | `No_such_medium) -> fail `Out_of_range
+        | Ok medium ->
+          let intent = encode_intent ~medium ~block data in
+          (* intents consume sequence numbers like any other fact; NVRAM
+             commit callbacks fire in seq order, so the applied watermark
+             is monotone *)
+          let intent_seq = Purity_pyramid.Seqno.next t.seqno in
+          Nvram.commit (nvram t) { Nvram.seq = intent_seq; payload = intent } (function
+            | Error `Full ->
+              (* NVRAM drains when segios flush; push the current one out
+                 if nothing is already flushing, then report backpressure *)
+              if t.pending_flush_count = 0 then (try seal_current t with Out_of_space -> ());
+              k (Error `Backpressure)
+            | Ok () when not t.online ->
+              (* the controller died between commit and apply: the intent
+                 is in NVRAM and will replay at failover *)
+              k (Error `Offline)
+            | Ok () -> (
+              match
+                apply_write ~io_blocks:(inferred_io_blocks v.observer) t ~medium ~block data
+              with
+              | () ->
+                t.last_applied_intent <- intent_seq;
+                t.ws.app_writes <- t.ws.app_writes + 1;
+                t.ws.logical_bytes <- t.ws.logical_bytes + len;
+                t.writes_since_checkpoint <- t.writes_since_checkpoint + 1;
+                Purity_util.Histogram.record t.write_lat (Clock.now t.clock -. start);
+                k (Ok ())
+              | exception Out_of_space -> k (Error `No_space)))
+      end

@@ -1,0 +1,1 @@
+lib/dedup/dedup.ml: Bytes Hashtbl List Option Purity_util String

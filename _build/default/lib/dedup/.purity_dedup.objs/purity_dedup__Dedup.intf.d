@@ -1,0 +1,1 @@
+lib/dedup/dedup.mli:

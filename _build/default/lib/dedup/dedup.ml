@@ -1,0 +1,170 @@
+module Xxhash = Purity_util.Xxhash
+module Lru = Purity_util.Lru
+
+let block_size = 512
+
+type source = { write_id : int; block : int }
+type hit = { at_block : int; src : source; run_blocks : int }
+
+type config = { hash_bits : int; record_every : int; window_writes : int; min_run : int }
+
+let default_config = { hash_bits = 48; record_every = 8; window_writes = 4096; min_run = 1 }
+
+type stats = {
+  registered_writes : int;
+  recorded_hashes : int;
+  lookups : int;
+  hash_hits : int;
+  verified_hits : int;
+  false_positives : int;
+  duplicate_blocks : int;
+}
+
+let zero_stats =
+  {
+    registered_writes = 0;
+    recorded_hashes = 0;
+    lookups = 0;
+    hash_hits = 0;
+    verified_hits = 0;
+    false_positives = 0;
+    duplicate_blocks = 0;
+  }
+
+type t = {
+  cfg : config;
+  index : (int64, source list) Hashtbl.t; (* truncated hash -> recorded anchors *)
+  window : (int, string) Lru.t; (* write_id -> payload, the recency window *)
+  mutable next_write_id : int;
+  mutable stats : stats;
+}
+
+let create ?(config = default_config) () =
+  {
+    cfg = config;
+    index = Hashtbl.create 4096;
+    window = Lru.create ~capacity:config.window_writes;
+    next_write_id = 0;
+    stats = zero_stats;
+  }
+
+let stats t = t.stats
+
+let block_hash t data block =
+  let h =
+    Xxhash.hash (Bytes.unsafe_of_string data) ~pos:(block * block_size) ~len:block_size
+  in
+  Xxhash.truncate h ~bits:t.cfg.hash_bits
+
+let blocks_of data = String.length data / block_size
+
+let register t data =
+  let id = t.next_write_id in
+  t.next_write_id <- id + 1;
+  Lru.add t.window id data;
+  let n = blocks_of data in
+  let recorded = ref 0 in
+  let b = ref 0 in
+  while !b < n do
+    let h = block_hash t data !b in
+    let prev = Option.value ~default:[] (Hashtbl.find_opt t.index h) in
+    (* keep the anchor list short: newest few only *)
+    let entry = { write_id = id; block = !b } in
+    Hashtbl.replace t.index h (entry :: (if List.length prev > 3 then [] else prev));
+    incr recorded;
+    b := !b + t.cfg.record_every
+  done;
+  t.stats <-
+    {
+      t.stats with
+      registered_writes = t.stats.registered_writes + 1;
+      recorded_hashes = t.stats.recorded_hashes + !recorded;
+    };
+  id
+
+let payload t ~write_id = Lru.find t.window write_id
+let forget t ~write_id = Lru.remove t.window write_id
+
+let blocks_equal data b1 src_data b2 =
+  let rec go i =
+    i >= block_size
+    || String.unsafe_get data ((b1 * block_size) + i)
+       = String.unsafe_get src_data ((b2 * block_size) + i)
+       && go (i + 1)
+  in
+  (b2 + 1) * block_size <= String.length src_data && go 0
+
+(* Extend a verified anchor match forwards and backwards. *)
+let extend data nblocks ~at ~(src : source) src_data =
+  let src_blocks = blocks_of src_data in
+  let back = ref 0 in
+  while
+    at - !back - 1 >= 0
+    && src.block - !back - 1 >= 0
+    && blocks_equal data (at - !back - 1) src_data (src.block - !back - 1)
+  do
+    incr back
+  done;
+  let fwd = ref 0 in
+  while
+    at + !fwd + 1 < nblocks
+    && src.block + !fwd + 1 < src_blocks
+    && blocks_equal data (at + !fwd + 1) src_data (src.block + !fwd + 1)
+  do
+    incr fwd
+  done;
+  {
+    at_block = at - !back;
+    src = { src with block = src.block - !back };
+    run_blocks = !back + 1 + !fwd;
+  }
+
+let find_duplicates t data =
+  let n = blocks_of data in
+  let hits = ref [] in
+  let covered_until = ref 0 in
+  for b = 0 to n - 1 do
+    if b >= !covered_until then begin
+      t.stats <- { t.stats with lookups = t.stats.lookups + 1 };
+      let h = block_hash t data b in
+      match Hashtbl.find_opt t.index h with
+      | None -> ()
+      | Some candidates ->
+        t.stats <- { t.stats with hash_hits = t.stats.hash_hits + 1 };
+        (* first candidate whose bytes really match wins *)
+        let verified =
+          List.find_map
+            (fun src ->
+              match Lru.find t.window src.write_id with
+              | None -> None
+              | Some src_data ->
+                if blocks_equal data b src_data src.block then Some (src, src_data)
+                else begin
+                  t.stats <- { t.stats with false_positives = t.stats.false_positives + 1 };
+                  None
+                end)
+            candidates
+        in
+        (match verified with
+        | None -> ()
+        | Some (src, src_data) ->
+          t.stats <- { t.stats with verified_hits = t.stats.verified_hits + 1 };
+          let hit = extend data n ~at:b ~src src_data in
+          (* clip the run to start at the first uncovered block *)
+          let clip = max 0 (!covered_until - hit.at_block) in
+          let hit =
+            {
+              at_block = hit.at_block + clip;
+              src = { hit.src with block = hit.src.block + clip };
+              run_blocks = hit.run_blocks - clip;
+            }
+          in
+          if hit.run_blocks >= t.cfg.min_run then begin
+            hits := hit :: !hits;
+            covered_until := hit.at_block + hit.run_blocks;
+            t.stats <-
+              { t.stats with duplicate_blocks = t.stats.duplicate_blocks + hit.run_blocks }
+          end)
+    end
+  done;
+  List.rev !hits

@@ -1,0 +1,1 @@
+lib/encoding/ranges.ml: Buffer Bytes Int List Map Purity_util

@@ -1,0 +1,1 @@
+lib/encoding/ranges.mli:

@@ -1,0 +1,1 @@
+lib/encoding/tuple_page.ml: Array Buffer Bytes Char Int64 List Purity_util String

@@ -1,0 +1,1 @@
+lib/encoding/tuple_page.mli:

@@ -1,0 +1,1 @@
+lib/erasure/gf256.mli:

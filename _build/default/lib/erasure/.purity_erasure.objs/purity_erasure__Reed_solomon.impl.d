@@ -1,0 +1,1 @@
+lib/erasure/reed_solomon.ml: Array Bytes Gf256 List Option String

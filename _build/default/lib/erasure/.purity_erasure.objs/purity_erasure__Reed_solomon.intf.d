@@ -1,0 +1,1 @@
+lib/erasure/reed_solomon.mli:

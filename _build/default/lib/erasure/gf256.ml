@@ -1,0 +1,54 @@
+let poly = 0x11D
+
+(* exp table doubled to avoid the mod 255 in mul's hot path. *)
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor poly
+  done;
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done
+
+let add a b = a lxor b
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) - log_table.(b) + 255)
+
+let inv a = div 1 a
+
+let exp i =
+  let i = ((i mod 255) + 255) mod 255 in
+  exp_table.(i)
+
+let mul_slice c ~src ~dst =
+  let n = Bytes.length src in
+  assert (Bytes.length dst = n);
+  if c = 1 then
+    for i = 0 to n - 1 do
+      Bytes.unsafe_set dst i
+        (Char.unsafe_chr
+           (Char.code (Bytes.unsafe_get dst i) lxor Char.code (Bytes.unsafe_get src i)))
+    done
+  else if c <> 0 then begin
+    let logc = log_table.(c) in
+    for i = 0 to n - 1 do
+      let s = Char.code (Bytes.unsafe_get src i) in
+      if s <> 0 then begin
+        let p = exp_table.(logc + log_table.(s)) in
+        Bytes.unsafe_set dst i
+          (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst i) lxor p))
+      end
+    done
+  end

@@ -1,0 +1,147 @@
+(* Systematic RS: take a (k+m) x k Vandermonde matrix (any k rows linearly
+   independent), normalise so the top k x k block is the identity; the
+   bottom m rows become the parity-generation coefficients. Decoding
+   inverts the k x k matrix formed by the rows of k surviving shards. *)
+
+type t = {
+  k : int;
+  m : int;
+  matrix : int array array; (* (k+m) x k; rows 0..k-1 are the identity *)
+}
+
+let k t = t.k
+let m t = t.m
+
+let matrix_mul a b =
+  let n = Array.length a and p = Array.length b.(0) in
+  let q = Array.length b in
+  Array.init n (fun i ->
+      Array.init p (fun j ->
+          let acc = ref 0 in
+          for x = 0 to q - 1 do
+            acc := Gf256.add !acc (Gf256.mul a.(i).(x) b.(x).(j))
+          done;
+          !acc))
+
+(* Gauss-Jordan inversion over GF(2^8). *)
+let matrix_invert m0 =
+  let n = Array.length m0 in
+  let a = Array.map Array.copy m0 in
+  let inv = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+  for col = 0 to n - 1 do
+    (* find pivot *)
+    let pivot = ref (-1) in
+    for r = col to n - 1 do
+      if !pivot < 0 && a.(r).(col) <> 0 then pivot := r
+    done;
+    if !pivot < 0 then invalid_arg "Reed_solomon: singular matrix";
+    if !pivot <> col then begin
+      let tmp = a.(col) in
+      a.(col) <- a.(!pivot);
+      a.(!pivot) <- tmp;
+      let tmp = inv.(col) in
+      inv.(col) <- inv.(!pivot);
+      inv.(!pivot) <- tmp
+    end;
+    let scale = Gf256.inv a.(col).(col) in
+    for j = 0 to n - 1 do
+      a.(col).(j) <- Gf256.mul a.(col).(j) scale;
+      inv.(col).(j) <- Gf256.mul inv.(col).(j) scale
+    done;
+    for r = 0 to n - 1 do
+      if r <> col && a.(r).(col) <> 0 then begin
+        let factor = a.(r).(col) in
+        for j = 0 to n - 1 do
+          a.(r).(j) <- Gf256.add a.(r).(j) (Gf256.mul factor a.(col).(j));
+          inv.(r).(j) <- Gf256.add inv.(r).(j) (Gf256.mul factor inv.(col).(j))
+        done
+      end
+    done
+  done;
+  inv
+
+let create ~k ~m =
+  if k <= 0 || m <= 0 || k + m > 255 then invalid_arg "Reed_solomon.create";
+  let vandermonde =
+    Array.init (k + m) (fun i -> Array.init k (fun j -> Gf256.exp (i * j)))
+  in
+  let top = Array.sub vandermonde 0 k in
+  let top_inv = matrix_invert top in
+  let matrix = matrix_mul vandermonde top_inv in
+  { k; m; matrix }
+
+let check_shard_sizes shards =
+  let size = ref (-1) in
+  Array.iter
+    (fun s ->
+      let n = Bytes.length s in
+      if !size < 0 then size := n
+      else if n <> !size then invalid_arg "Reed_solomon: unequal shard sizes")
+    shards;
+  !size
+
+(* rows: coefficient rows, inputs: matching shards -> outputs per row. *)
+let apply_rows rows inputs size =
+  Array.map
+    (fun row ->
+      let out = Bytes.make size '\000' in
+      Array.iteri (fun j src -> Gf256.mul_slice row.(j) ~src ~dst:out) inputs;
+      out)
+    rows
+
+let encode t data =
+  if Array.length data <> t.k then invalid_arg "Reed_solomon.encode: need k shards";
+  let size = check_shard_sizes data in
+  let parity_rows = Array.sub t.matrix t.k t.m in
+  apply_rows parity_rows data size
+
+let encode_string t s ~shard_size =
+  if shard_size <= 0 then invalid_arg "Reed_solomon.encode_string";
+  if String.length s > t.k * shard_size then
+    invalid_arg "Reed_solomon.encode_string: buffer too large";
+  let data =
+    Array.init t.k (fun i ->
+        let b = Bytes.make shard_size '\000' in
+        let pos = i * shard_size in
+        let avail = max 0 (min shard_size (String.length s - pos)) in
+        if avail > 0 then Bytes.blit_string s pos b 0 avail;
+        b)
+  in
+  let parity = encode t data in
+  Array.append (Array.map Bytes.to_string data) (Array.map Bytes.to_string parity)
+
+let decode t shards =
+  if Array.length shards <> t.k + t.m then
+    invalid_arg "Reed_solomon.decode: need k+m shard slots";
+  (* Fast path: all data shards present. *)
+  let all_data = ref true in
+  for i = 0 to t.k - 1 do
+    if shards.(i) = None then all_data := false
+  done;
+  if !all_data then Array.init t.k (fun i -> Option.get shards.(i))
+  else begin
+    let survivors = ref [] in
+    Array.iteri
+      (fun i s -> match s with Some b -> survivors := (i, b) :: !survivors | None -> ())
+      shards;
+    let survivors = List.rev !survivors in
+    if List.length survivors < t.k then
+      invalid_arg "Reed_solomon.decode: too many erasures";
+    let chosen = Array.of_list (List.filteri (fun idx _ -> idx < t.k) survivors) in
+    let size = check_shard_sizes (Array.map snd chosen) in
+    let sub = Array.map (fun (i, _) -> Array.copy t.matrix.(i)) chosen in
+    let sub_inv = matrix_invert sub in
+    apply_rows sub_inv (Array.map snd chosen) size
+  end
+
+let reconstruct_shard t shards i =
+  if i < 0 || i >= t.k + t.m then invalid_arg "Reed_solomon.reconstruct_shard";
+  let data = decode t shards in
+  if i < t.k then data.(i)
+  else begin
+    let size = Bytes.length data.(0) in
+    let out = apply_rows [| t.matrix.(i) |] data size in
+    out.(0)
+  end
+
+let parity_overhead t = float_of_int t.m /. float_of_int t.k

@@ -1,0 +1,1 @@
+lib/medium/medium.ml: Buffer Bytes Fmt Hashtbl Int List Option Purity_util

@@ -1,0 +1,1 @@
+lib/medium/medium.mli: Fmt

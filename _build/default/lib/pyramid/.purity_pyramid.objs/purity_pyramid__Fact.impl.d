@@ -1,0 +1,1 @@
+lib/pyramid/fact.ml: Buffer Bytes Fmt Int64 Purity_util String

@@ -1,0 +1,1 @@
+lib/pyramid/fact.mli: Buffer Fmt

@@ -1,0 +1,1 @@
+lib/pyramid/patch.ml: Array Buffer Bytes Char Fact Int32 Int64 List Purity_util Seq String

@@ -1,0 +1,1 @@
+lib/pyramid/pyramid.ml: Fact Hashtbl Int64 List Option Patch Purity_encoding String

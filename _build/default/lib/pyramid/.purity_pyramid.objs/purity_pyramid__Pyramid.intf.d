@@ -1,0 +1,1 @@
+lib/pyramid/pyramid.mli: Fact Patch Purity_encoding

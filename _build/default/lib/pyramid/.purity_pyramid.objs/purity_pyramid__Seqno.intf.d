@@ -1,0 +1,1 @@
+lib/pyramid/seqno.mli:

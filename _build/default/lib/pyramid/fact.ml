@@ -1,0 +1,44 @@
+module Varint = Purity_util.Varint
+
+type t = { key : string; value : string option; seq : int64 }
+
+let make ~key ~value ~seq = { key; value = Some value; seq }
+let tombstone ~key ~seq = { key; value = None; seq }
+let is_tombstone t = t.value = None
+
+let compare_key_seq a b =
+  let c = String.compare a.key b.key in
+  if c <> 0 then c else Int64.compare b.seq a.seq
+
+let equal a b = a.key = b.key && a.value = b.value && Int64.equal a.seq b.seq
+
+let encode buf t =
+  Varint.write_i64 buf t.seq;
+  Varint.write buf (String.length t.key);
+  Buffer.add_string buf t.key;
+  (match t.value with
+  | None -> Buffer.add_char buf '\000'
+  | Some v ->
+    Buffer.add_char buf '\001';
+    Varint.write buf (String.length v);
+    Buffer.add_string buf v)
+
+let decode buf ~pos =
+  let seq, p = Varint.read_i64 buf ~pos in
+  let klen, p = Varint.read buf ~pos:p in
+  if p + klen > Bytes.length buf then invalid_arg "Fact.decode: truncated key";
+  let key = Bytes.sub_string buf p klen in
+  let p = p + klen in
+  if p >= Bytes.length buf then invalid_arg "Fact.decode: truncated tag";
+  match Bytes.get buf p with
+  | '\000' -> ({ key; value = None; seq }, p + 1)
+  | '\001' ->
+    let vlen, p = Varint.read buf ~pos:(p + 1) in
+    if p + vlen > Bytes.length buf then invalid_arg "Fact.decode: truncated value";
+    ({ key; value = Some (Bytes.sub_string buf p vlen); seq }, p + vlen)
+  | _ -> invalid_arg "Fact.decode: bad tag"
+
+let pp ppf t =
+  match t.value with
+  | Some v -> Fmt.pf ppf "@[<h>%S=%S@%Ld@]" t.key v t.seq
+  | None -> Fmt.pf ppf "@[<h>%S=⊥@%Ld@]" t.key t.seq

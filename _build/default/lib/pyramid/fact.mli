@@ -1,0 +1,34 @@
+(** Immutable facts: the only unit of persistent mutation in Purity.
+
+    Paper §3.2: "Purity represents all persistent data as immutable facts
+    (tuples). Deletions are represented as immutable retractions." Every
+    fact carries a sequence number from the array-wide counter, so any set
+    of facts has a well-defined most-recent state regardless of the order
+    in which the facts are (re)discovered — insertion is idempotent and
+    commutative, which is what makes recovery a set union (§4.3).
+
+    A fact with [value = None] is a tombstone retraction; pyramids
+    configured with elision never produce them (elide tables carry the
+    retractions instead). *)
+
+type t = { key : string; value : string option; seq : int64 }
+
+val make : key:string -> value:string -> seq:int64 -> t
+val tombstone : key:string -> seq:int64 -> t
+val is_tombstone : t -> bool
+
+val compare_key_seq : t -> t -> int
+(** Order by key ascending, then sequence number descending — the patch
+    layout order, which puts the newest fact for a key first. *)
+
+val equal : t -> t -> bool
+
+val encode : Buffer.t -> t -> unit
+(** Append a self-framing binary encoding (used in NVRAM payloads and
+    segment log records). *)
+
+val decode : bytes -> pos:int -> t * int
+(** Parse one encoded fact; returns it and the offset just past it.
+    @raise Invalid_argument on truncated input. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,161 @@
+module Varint = Purity_util.Varint
+module Crc32c = Purity_util.Crc32c
+
+type t = Fact.t array (* sorted by (key asc, seq desc), no (key,seq) dups *)
+
+let empty = [||]
+let count = Array.length
+let is_empty t = Array.length t = 0
+
+let dedup_sorted facts =
+  (* facts sorted by compare_key_seq; drop exact (key, seq) duplicates. *)
+  let out = ref [] in
+  Array.iter
+    (fun f ->
+      match !out with
+      | prev :: _ when prev.Fact.key = f.Fact.key && Int64.equal prev.Fact.seq f.Fact.seq -> ()
+      | _ -> out := f :: !out)
+    facts;
+  Array.of_list (List.rev !out)
+
+let of_facts facts =
+  let a = Array.of_list facts in
+  Array.sort Fact.compare_key_seq a;
+  dedup_sorted a
+
+let seq_range t =
+  if is_empty t then None
+  else begin
+    let lo = ref (t.(0)).Fact.seq and hi = ref (t.(0)).Fact.seq in
+    Array.iter
+      (fun f ->
+        if Int64.compare f.Fact.seq !lo < 0 then lo := f.Fact.seq;
+        if Int64.compare f.Fact.seq !hi > 0 then hi := f.Fact.seq)
+      t;
+    Some (!lo, !hi)
+  end
+
+let key_range t =
+  if is_empty t then None else Some ((t.(0)).Fact.key, (t.(Array.length t - 1)).Fact.key)
+
+(* Index of the first fact with key >= [key]. *)
+let lower_bound t key =
+  let lo = ref 0 and hi = ref (Array.length t) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if String.compare (t.(mid)).Fact.key key < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let find t key =
+  let i = ref (lower_bound t key) in
+  let acc = ref [] in
+  while !i < Array.length t && (t.(!i)).Fact.key = key do
+    acc := t.(!i) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let find_latest t key =
+  let i = lower_bound t key in
+  if i < Array.length t && (t.(i)).Fact.key = key then Some t.(i) else None
+
+let iter t f = Array.iter f t
+let fold f init t = Array.fold_left f init t
+let to_list t = Array.to_list t
+let get t i = t.(i)
+
+let range t ~lo ~hi =
+  let i = ref (lower_bound t lo) in
+  let acc = ref [] in
+  while !i < Array.length t && String.compare (t.(!i)).Fact.key hi <= 0 do
+    acc := t.(!i) :: !acc;
+    incr i
+  done;
+  List.rev !acc
+
+let merge a b =
+  (* Linear merge of two sorted runs, dropping (key, seq) duplicates. *)
+  let na = Array.length a and nb = Array.length b in
+  let out = ref [] in
+  let push f =
+    match !out with
+    | prev :: _ when prev.Fact.key = f.Fact.key && Int64.equal prev.Fact.seq f.Fact.seq -> ()
+    | _ -> out := f :: !out
+  in
+  let i = ref 0 and j = ref 0 in
+  while !i < na || !j < nb do
+    if !i >= na then begin
+      push b.(!j);
+      incr j
+    end
+    else if !j >= nb then begin
+      push a.(!i);
+      incr i
+    end
+    else if Fact.compare_key_seq a.(!i) b.(!j) <= 0 then begin
+      push a.(!i);
+      incr i
+    end
+    else begin
+      push b.(!j);
+      incr j
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let merge_many ts = List.fold_left merge empty ts
+
+let filter t pred = Array.of_seq (Seq.filter pred (Array.to_seq t))
+
+let compact_latest t ~drop_tombstones =
+  let out = ref [] in
+  let last_key = ref None in
+  Array.iter
+    (fun f ->
+      let fresh = match !last_key with Some k -> k <> f.Fact.key | None -> true in
+      if fresh then begin
+        last_key := Some f.Fact.key;
+        if not (drop_tombstones && Fact.is_tombstone f) then out := f :: !out
+      end)
+    t;
+  Array.of_list (List.rev !out)
+
+let serialize t =
+  let body = Buffer.create (64 * Array.length t) in
+  Varint.write body (Array.length t);
+  Array.iter (fun f -> Fact.encode body f) t;
+  let payload = Buffer.contents body in
+  let out = Buffer.create (String.length payload + 8) in
+  Varint.write out (String.length payload);
+  let crc = Crc32c.digest_string payload in
+  for shift = 0 to 3 do
+    Buffer.add_char out
+      (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc (8 * shift)) 0xFFl)))
+  done;
+  Buffer.add_string out payload;
+  Buffer.contents out
+
+let deserialize s =
+  let buf = Bytes.unsafe_of_string s in
+  let payload_len, p = Varint.read buf ~pos:0 in
+  if p + 4 + payload_len > Bytes.length buf then invalid_arg "Patch.deserialize: truncated";
+  let crc_stored =
+    let b i = Int32.of_int (Bytes.get_uint8 buf (p + i)) in
+    Int32.logor (b 0)
+      (Int32.logor
+         (Int32.shift_left (b 1) 8)
+         (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
+  in
+  let payload_pos = p + 4 in
+  if Crc32c.update 0l buf ~pos:payload_pos ~len:payload_len <> crc_stored then
+    invalid_arg "Patch.deserialize: CRC mismatch";
+  let n, pos = Varint.read buf ~pos:payload_pos in
+  let facts = ref [] in
+  let p = ref pos in
+  for _ = 1 to n do
+    let f, next = Fact.decode buf ~pos:!p in
+    facts := f :: !facts;
+    p := next
+  done;
+  of_facts (List.rev !facts)

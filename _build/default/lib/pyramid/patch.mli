@@ -1,0 +1,58 @@
+(** Patches: the sorted immutable runs a pyramid is built from.
+
+    Paper §4.8: "Patches are analogous to levels or components in other
+    LSM-Tree implementations, and describe differences between the
+    previous version of the pyramid and the new one. We track key ranges
+    and sequence numbers for each patch."
+
+    A patch is an immutable array of facts sorted by (key asc, seq desc).
+    Duplicate (key, seq) facts collapse to one — re-inserting a fact is a
+    no-op, the idempotence recovery relies on. *)
+
+type t
+
+val of_facts : Fact.t list -> t
+(** Sort, deduplicate and freeze a batch of facts. *)
+
+val empty : t
+val count : t -> int
+val is_empty : t -> bool
+
+val seq_range : t -> (int64 * int64) option
+(** Smallest and largest sequence number, [None] when empty. *)
+
+val key_range : t -> (string * string) option
+
+val find : t -> string -> Fact.t list
+(** All facts for a key, newest (highest seq) first. *)
+
+val find_latest : t -> string -> Fact.t option
+
+val iter : t -> (Fact.t -> unit) -> unit
+(** In patch order. *)
+
+val fold : ('a -> Fact.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Fact.t list
+val get : t -> int -> Fact.t
+
+val range : t -> lo:string -> hi:string -> Fact.t list
+(** Facts with [lo <= key <= hi], in patch order. *)
+
+val merge : t -> t -> t
+(** Combine two patches (the pyramid's merge operation). Commutative,
+    associative and idempotent — merging a patch with itself, or replaying
+    a merge, yields the same result. *)
+
+val merge_many : t list -> t
+
+val filter : t -> (Fact.t -> bool) -> t
+(** Keep only matching facts (elide-aware flatten uses this). *)
+
+val compact_latest : t -> drop_tombstones:bool -> t
+(** Keep only the newest fact per key — valid only at the bottom of a
+    pyramid, where no older level can resurrect superseded facts. With
+    [drop_tombstones] the retractions themselves are discarded too. *)
+
+val serialize : t -> string
+val deserialize : string -> t
+(** @raise Invalid_argument on malformed input (CRC-checked). *)

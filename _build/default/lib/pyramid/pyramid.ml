@@ -1,0 +1,220 @@
+module Ranges = Purity_encoding.Ranges
+
+type policy = Elide of (Fact.t -> int) | Tombstones
+
+type elide_entry = { eseq : int64; lo : int; hi : int }
+
+type t = {
+  name : string;
+  policy : policy;
+  flush_count : int;
+  memtable : (string, Fact.t list) Hashtbl.t; (* key -> facts, newest first *)
+  mutable memtable_count : int;
+  mutable patches : Patch.t list; (* shallowest (newest) first *)
+  mutable elide_log : elide_entry list; (* newest first *)
+  mutable elide_ranges : Ranges.t; (* union of elide_log ranges *)
+  mutable max_seq : int64;
+}
+
+let create ?(memtable_flush_count = 1024) ~policy ~name () =
+  {
+    name;
+    policy;
+    flush_count = memtable_flush_count;
+    memtable = Hashtbl.create 64;
+    memtable_count = 0;
+    patches = [];
+    elide_log = [];
+    elide_ranges = Ranges.empty;
+    max_seq = 0L;
+  }
+
+let name t = t.name
+let policy_is_elision t = match t.policy with Elide _ -> true | Tombstones -> false
+
+let bump_seq t seq = if Int64.compare seq t.max_seq > 0 then t.max_seq <- seq
+
+(* Size-tiered maintenance: after a flush, merge the shallowest patches
+   while the newer one has grown to at least half the older one's size.
+   This keeps the patch count logarithmic in the number of flushes, like
+   the background merge strategies of the LSM literature the paper cites
+   (elided facts are dropped by the merges along the way). *)
+let rec auto_compact t =
+  match t.patches with
+  | a :: b :: rest when 2 * Patch.count a >= Patch.count b ->
+    let merged =
+      match t.policy with
+      | Tombstones -> Patch.merge a b
+      | Elide _ ->
+        Patch.filter (Patch.merge a b) (fun f ->
+            match t.policy with
+            | Elide rule -> not (Ranges.mem t.elide_ranges (rule f))
+            | Tombstones -> true)
+    in
+    t.patches <- merged :: rest;
+    auto_compact t
+  | _ -> ()
+
+let flush t =
+  if t.memtable_count > 0 then begin
+    let facts = Hashtbl.fold (fun _ fs acc -> List.rev_append fs acc) t.memtable [] in
+    t.patches <- Patch.of_facts facts :: t.patches;
+    Hashtbl.reset t.memtable;
+    t.memtable_count <- 0;
+    auto_compact t
+  end
+
+let insert_fact t f =
+  let prev = Option.value ~default:[] (Hashtbl.find_opt t.memtable f.Fact.key) in
+  (* Idempotence at the earliest point: drop exact (key, seq) repeats. *)
+  if not (List.exists (fun g -> Int64.equal g.Fact.seq f.Fact.seq) prev) then begin
+    Hashtbl.replace t.memtable f.Fact.key (f :: prev);
+    t.memtable_count <- t.memtable_count + 1;
+    bump_seq t f.Fact.seq;
+    if t.memtable_count >= t.flush_count then flush t
+  end
+
+let insert t ~seq ~key ~value = insert_fact t (Fact.make ~key ~value ~seq)
+
+let delete t ~seq ~key =
+  match t.policy with
+  | Tombstones -> insert_fact t (Fact.tombstone ~key ~seq)
+  | Elide _ -> invalid_arg "Pyramid.delete: elision-policy table; use elide_range"
+
+let elide_range t ~seq ~lo ~hi =
+  match t.policy with
+  | Tombstones -> invalid_arg "Pyramid.elide_range: tombstone-policy table; use delete"
+  | Elide _ ->
+    if lo > hi then invalid_arg "Pyramid.elide_range: lo > hi";
+    t.elide_log <- { eseq = seq; lo; hi } :: t.elide_log;
+    t.elide_ranges <- Ranges.add_range t.elide_ranges ~lo ~hi;
+    bump_seq t seq
+
+let elide_id t ~seq id = elide_range t ~seq ~lo:id ~hi:id
+
+(* Elide ids are never reused, so filtering against the full table is
+   always safe; snapshot reads restrict to entries committed by then. *)
+let elided_at t ~snapshot f =
+  match t.policy with
+  | Tombstones -> false
+  | Elide rule ->
+    let id = rule f in
+    if Int64.compare snapshot t.max_seq >= 0 then Ranges.mem t.elide_ranges id
+    else
+      List.exists
+        (fun e -> Int64.compare e.eseq snapshot <= 0 && id >= e.lo && id <= e.hi)
+        t.elide_log
+
+let no_snapshot = Int64.max_int
+
+(* Latest fact for a key with seq <= snapshot, across memtable and every
+   patch. Patches may overlap in sequence ranges after recovery, so all
+   sources are consulted and the global maximum wins. *)
+let latest_fact t ~snapshot key =
+  let best = ref None in
+  let consider f =
+    if Int64.compare f.Fact.seq snapshot <= 0 then
+      match !best with
+      | Some b when Int64.compare b.Fact.seq f.Fact.seq >= 0 -> ()
+      | _ -> best := Some f
+  in
+  (match Hashtbl.find_opt t.memtable key with
+  | Some fs -> List.iter consider fs
+  | None -> ());
+  List.iter (fun p -> List.iter consider (Patch.find p key)) t.patches;
+  !best
+
+let resolve t ~snapshot ~ignore_retractions fact =
+  match fact with
+  | None -> None
+  | Some f ->
+    if ignore_retractions then f.Fact.value
+    else if Fact.is_tombstone f then None
+    else if elided_at t ~snapshot f then None
+    else f.Fact.value
+
+let find ?(snapshot = no_snapshot) t key =
+  resolve t ~snapshot ~ignore_retractions:false (latest_fact t ~snapshot key)
+
+let find_ignoring_retractions ?(snapshot = no_snapshot) t key =
+  match latest_fact t ~snapshot key with
+  | Some f when not (Fact.is_tombstone f) -> f.Fact.value
+  | Some _ | None -> None
+
+let memtable_patch t =
+  Patch.of_facts (Hashtbl.fold (fun _ fs acc -> List.rev_append fs acc) t.memtable [])
+
+let merged_view t = Patch.merge_many (memtable_patch t :: t.patches)
+
+let iter_live ?(snapshot = no_snapshot) t f =
+  let view = merged_view t in
+  let current_key = ref None in
+  let emitted = ref false in
+  Patch.iter view (fun fact ->
+      (if !current_key <> Some fact.Fact.key then begin
+         current_key := Some fact.Fact.key;
+         emitted := false
+       end);
+      if (not !emitted) && Int64.compare fact.Fact.seq snapshot <= 0 then begin
+        emitted := true;
+        (* first in-snapshot fact for the key = its latest version *)
+        if not (Fact.is_tombstone fact) && not (elided_at t ~snapshot fact) then
+          match fact.Fact.value with
+          | Some value -> f ~key:fact.Fact.key ~value
+          | None -> ()
+      end)
+
+let range ?(snapshot = no_snapshot) t ~lo ~hi =
+  let acc = ref [] in
+  iter_live ~snapshot t (fun ~key ~value ->
+      if String.compare key lo >= 0 && String.compare key hi <= 0 then
+        acc := (key, value) :: !acc);
+  List.rev !acc
+
+let not_elided t f = not (elided_at t ~snapshot:no_snapshot f)
+
+let merge_step t =
+  match t.patches with
+  | a :: b :: rest ->
+    let merged = Patch.filter (Patch.merge a b) (not_elided t) in
+    t.patches <- merged :: rest;
+    true
+  | _ -> false
+
+let flatten t =
+  flush t;
+  let all = Patch.merge_many t.patches in
+  let live = Patch.filter all (not_elided t) in
+  let bottom = Patch.compact_latest live ~drop_tombstones:true in
+  t.patches <- (if Patch.is_empty bottom then [] else [ bottom ])
+
+let patch_count t = List.length t.patches
+
+let fact_count t =
+  t.memtable_count + List.fold_left (fun acc p -> acc + Patch.count p) 0 t.patches
+
+let live_key_count t =
+  let n = ref 0 in
+  iter_live t (fun ~key:_ ~value:_ -> incr n);
+  !n
+
+let memtable_size t = t.memtable_count
+let elide_table t = t.elide_ranges
+let elide_range_count t = Ranges.range_count t.elide_ranges
+let max_seq t = t.max_seq
+let patches t = t.patches
+
+let replace_patches t ps =
+  t.patches <- ps;
+  List.iter
+    (fun p -> match Patch.seq_range p with Some (_, hi) -> bump_seq t hi | None -> ())
+    ps
+
+let restore_elides t ranges =
+  match t.policy with
+  | Tombstones -> invalid_arg "Pyramid.restore_elides: tombstone-policy table"
+  | Elide _ ->
+    Ranges.fold
+      (fun ~lo ~hi () -> t.elide_log <- { eseq = 0L; lo; hi } :: t.elide_log)
+      ranges ();
+    t.elide_ranges <- Ranges.union t.elide_ranges ranges

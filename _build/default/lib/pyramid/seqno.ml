@@ -1,0 +1,18 @@
+type t = { mutable last : int64 }
+
+let create () = { last = 0L }
+
+let next t =
+  t.last <- Int64.add t.last 1L;
+  t.last
+
+let next_batch t n =
+  if n <= 0 then invalid_arg "Seqno.next_batch";
+  let first = Int64.add t.last 1L in
+  t.last <- Int64.add t.last (Int64.of_int n);
+  (first, t.last)
+
+let current t = t.last
+
+let restore_at_least t seq =
+  if Int64.compare seq t.last > 0 then t.last <- seq

@@ -1,0 +1,1 @@
+lib/replication/replication.ml: Float Hashtbl Int List Option Printf Purity_core Purity_medium Purity_pyramid Purity_sim Set String

@@ -1,0 +1,1 @@
+lib/replication/replication.mli: Purity_core

@@ -1,0 +1,234 @@
+module Clock = Purity_sim.Clock
+module Fa = Purity_core.Flash_array
+module State = Purity_core.State
+module Keys = Purity_core.Keys
+module Pyramid = Purity_pyramid.Pyramid
+module Medium = Purity_medium.Medium
+
+type link = { mb_s : float; rtt_us : float }
+
+let default_link = { mb_s = 100.0; rtt_us = 20_000.0 }
+
+type protected_vol = {
+  mutable cycle : int;
+  mutable last_snap : string option; (* fully applied on the target *)
+  mutable in_flight : bool;
+}
+
+type stats = { cycles : int; total_shipped_bytes : int; total_changed_blocks : int }
+
+type t = {
+  link : link;
+  source : Fa.t;
+  target : Fa.t;
+  clock : Clock.t;
+  volumes : (string, protected_vol) Hashtbl.t;
+  mutable link_free_at : float;
+  mutable stats : stats;
+}
+
+let create ?(link = default_link) ~source ~target () =
+  if Fa.clock source != Fa.clock target then
+    invalid_arg "Replication.create: arrays must share one clock";
+  {
+    link;
+    source;
+    target;
+    clock = Fa.clock source;
+    volumes = Hashtbl.create 8;
+    link_free_at = 0.0;
+    stats = { cycles = 0; total_shipped_bytes = 0; total_changed_blocks = 0 };
+  }
+
+let protect t name =
+  if Hashtbl.mem t.volumes name then Error `Already
+  else if not (Fa.volume_exists t.source name) then Error `No_such_volume
+  else begin
+    Hashtbl.replace t.volumes name { cycle = 0; last_snap = None; in_flight = false };
+    Ok ()
+  end
+
+let unprotect t name = Hashtbl.remove t.volumes name
+
+let last_replicated t name =
+  match Hashtbl.find_opt t.volumes name with Some p -> p.last_snap | None -> None
+
+let stats t = t.stats
+
+(* The frozen medium a snapshot handle references. *)
+let snap_medium st snap_name =
+  match Hashtbl.find_opt st.State.volumes snap_name with
+  | Some v -> (
+    match Medium.extents st.State.medium_table v.State.medium with
+    | [ { Medium.target = Medium.Underlying { medium; _ }; _ } ] -> Some medium
+    | _ -> Some v.State.medium)
+  | None -> None
+
+(* Mediums that accumulated writes between two replication snapshots:
+   walk the successor chain [from_medium] downwards until [until]
+   (exclusive). Replication successors reference whole mediums at offset
+   0, so the walk is a straight line. *)
+let mediums_between st ~from_medium ~until =
+  let rec go m acc =
+    if Some m = until then acc
+    else begin
+      let acc = m :: acc in
+      match Medium.extents st.State.medium_table m with
+      | [ { Medium.target = Medium.Underlying { medium; offset = 0 }; start_block = 0; _ } ] ->
+        go medium acc
+      | _ -> acc
+    end
+  in
+  go from_medium []
+
+(* Blocks with live facts in the given mediums, from the block index. *)
+let changed_blocks st mediums =
+  let module IS = Set.Make (Int) in
+  let set = ref IS.empty in
+  List.iter
+    (fun medium ->
+      let lo = Keys.block_key ~medium ~block:0 in
+      let hi = Keys.block_key ~medium ~block:max_int in
+      List.iter
+        (fun (key, _) -> set := IS.add (Keys.block_key_block key) !set)
+        (Pyramid.range st.State.blocks ~lo ~hi))
+    mediums;
+  IS.elements !set
+
+(* Group sorted blocks into runs of consecutive addresses, capped so one
+   run is one source read / wire transfer / target write. *)
+let runs_of blocks ~max_run =
+  let rec go acc current = function
+    | [] -> List.rev (match current with None -> acc | Some r -> r :: acc)
+    | b :: rest -> (
+      match current with
+      | Some (start, len) when b = start + len && len < max_run ->
+        go acc (Some (start, len + 1)) rest
+      | Some r -> go (r :: acc) (Some (b, 1)) rest
+      | None -> go acc (Some (b, 1)) rest)
+  in
+  go [] None blocks
+
+let ship t bytes k =
+  (* serialize transfers on the WAN; per-run RTT overhead *)
+  let start = Float.max (Clock.now t.clock) t.link_free_at in
+  let finish = start +. t.link.rtt_us +. (float_of_int bytes /. (t.link.mb_s *. 1.048576)) in
+  t.link_free_at <- finish;
+  Clock.schedule_at t.clock ~at:finish k
+
+type cycle_report = {
+  volume : string;
+  cycle : int;
+  changed_blocks : int;
+  shipped_bytes : int;
+  duration_us : float;
+  rpo_snapshot : string;
+}
+
+let ensure_target_volume t name blocks =
+  if Fa.volume_exists t.target name then begin
+    let current =
+      List.assoc name
+        (List.map (fun (n, _, b) -> (n, b)) (Fa.list_volumes t.target))
+    in
+    if blocks > current then ignore (Fa.resize_volume t.target name ~blocks)
+  end
+  else ignore (Fa.create_volume t.target name ~blocks)
+
+let replicate_once t volume k =
+  let p =
+    match Hashtbl.find_opt t.volumes volume with
+    | Some p -> p
+    | None -> invalid_arg "Replication.replicate_once: volume not protected"
+  in
+  if p.in_flight then invalid_arg "Replication.replicate_once: cycle already in flight";
+  p.in_flight <- true;
+  let started = Clock.now t.clock in
+  let cycle = p.cycle + 1 in
+  let snap_name = Printf.sprintf "%s@repl-%d" volume cycle in
+  (match Fa.snapshot t.source ~volume ~snap:snap_name with
+  | Ok () -> ()
+  | Error _ -> invalid_arg "Replication: source snapshot failed");
+  let st = Fa.state t.source in
+  let size =
+    match Hashtbl.find_opt st.State.volumes volume with
+    | Some v -> v.State.blocks
+    | None -> 0
+  in
+  ensure_target_volume t volume size;
+  let new_medium = Option.get (snap_medium st snap_name) in
+  let prev_medium =
+    match p.last_snap with Some s -> snap_medium st s | None -> None
+  in
+  let blocks =
+    match p.last_snap with
+    | Some _ ->
+      changed_blocks st (mediums_between st ~from_medium:new_medium ~until:prev_medium)
+    | None ->
+      (* initial sync: every block the volume actually holds *)
+      let acc = ref [] in
+      for b = size - 1 downto 0 do
+        if Medium.resolve st.State.medium_table new_medium ~block:b <> [] then
+          match Purity_core.State.resolve_block st ~medium:new_medium ~block:b with
+          | Some _ -> acc := b :: !acc
+          | None -> ()
+      done;
+      !acc
+  in
+  let runs = runs_of blocks ~max_run:256 in
+  let shipped = ref 0 in
+  let finish () =
+    (* target now holds the full image: cut its consistent snapshot *)
+    (match Fa.snapshot t.target ~volume ~snap:snap_name with
+    | Ok () -> ()
+    | Error _ -> ());
+    (* retire the previous replication snapshots on both sides *)
+    (match p.last_snap with
+    | Some old ->
+      ignore (Fa.delete_snapshot t.source old);
+      ignore (Fa.delete_snapshot t.target old)
+    | None -> ());
+    p.cycle <- cycle;
+    p.last_snap <- Some snap_name;
+    p.in_flight <- false;
+    t.stats <-
+      {
+        cycles = t.stats.cycles + 1;
+        total_shipped_bytes = t.stats.total_shipped_bytes + !shipped;
+        total_changed_blocks = t.stats.total_changed_blocks + List.length blocks;
+      };
+    k
+      {
+        volume;
+        cycle;
+        changed_blocks = List.length blocks;
+        shipped_bytes = !shipped;
+        duration_us = Clock.now t.clock -. started;
+        rpo_snapshot = snap_name;
+      }
+  in
+  let rec pump = function
+    | [] -> finish ()
+    | (start, len) :: rest ->
+      (* read from the frozen snapshot, ship, apply on the target *)
+      Fa.read t.source ~volume:snap_name ~block:start ~nblocks:len (function
+        | Error _ -> pump rest (* unreadable: skip; next cycle retries *)
+        | Ok data ->
+          shipped := !shipped + String.length data;
+          ship t (String.length data) (fun () ->
+              Fa.write t.target ~volume ~block:start data (fun _ -> pump rest)))
+  in
+  pump runs
+
+let replicate_all t k =
+  let names = Hashtbl.fold (fun name _ acc -> name :: acc) t.volumes [] in
+  let names = List.sort compare names in
+  let reports = ref [] in
+  let rec go = function
+    | [] -> k (List.rev !reports)
+    | name :: rest ->
+      replicate_once t name (fun r ->
+          reports := r :: !reports;
+          go rest)
+  in
+  go names

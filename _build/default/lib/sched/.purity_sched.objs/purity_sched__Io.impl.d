@@ -1,0 +1,1 @@
+lib/sched/io.ml: Array Bytes Fun List Purity_erasure Purity_segment Purity_sim Purity_ssd Purity_util

@@ -1,0 +1,1 @@
+lib/sched/io.mli: Purity_erasure Purity_segment Purity_ssd Purity_util

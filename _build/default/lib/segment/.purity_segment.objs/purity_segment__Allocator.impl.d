@@ -1,0 +1,1 @@
+lib/segment/allocator.ml: Array Buffer Bytes Hashtbl Layout List Purity_util Queue Segment

@@ -1,0 +1,1 @@
+lib/segment/allocator.mli: Layout Segment

@@ -1,0 +1,1 @@
+lib/segment/layout.mli:

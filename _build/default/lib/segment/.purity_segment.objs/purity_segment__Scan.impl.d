@@ -1,0 +1,1 @@
+lib/segment/scan.ml: Array Hashtbl Int Layout List Purity_ssd Segment

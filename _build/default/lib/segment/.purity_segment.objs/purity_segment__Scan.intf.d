@@ -1,0 +1,1 @@
+lib/segment/scan.mli: Layout Purity_ssd Segment

@@ -1,0 +1,1 @@
+lib/segment/segment.ml: Array Buffer Bytes Fmt Int32 Layout Purity_util String

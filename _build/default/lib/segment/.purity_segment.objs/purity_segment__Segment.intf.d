@@ -1,0 +1,1 @@
+lib/segment/segment.mli: Fmt Layout

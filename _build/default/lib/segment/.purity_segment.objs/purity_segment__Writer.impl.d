@@ -1,0 +1,1 @@
+lib/segment/writer.ml: Array Buffer Bytes Int64 Layout List Purity_erasure Purity_ssd Purity_util Queue Segment String

@@ -1,0 +1,1 @@
+lib/segment/writer.mli: Layout Purity_erasure Purity_ssd Segment

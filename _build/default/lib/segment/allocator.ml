@@ -1,0 +1,237 @@
+module Varint = Purity_util.Varint
+
+type t = {
+  layout : Layout.t;
+  drives : int;
+  aus_per_drive : int;
+  frontier_per_drive : int;
+  free : int Queue.t array; (* per-drive free AU indices *)
+  used : (int * int, unit) Hashtbl.t; (* (drive, au) holding live segments *)
+  mutable frontier : Segment.member list list;
+      (* available allocation slots, grouped per refill batch; flattened view
+         is the allocatable pool *)
+  mutable persisted : Segment.member list; (* snapshot as of last persist *)
+  mutable speculative : Segment.member list; (* pre-approved next batch *)
+  mutable generation : int;
+  mutable rotation : int;
+  mutable allocated_since_mark : Segment.member list;
+      (* segments whose facts may postdate the last checkpoint; recovery
+         must scan them, so they stay in the persisted set *)
+}
+
+let create ~layout ~drives ~aus_per_drive ?(frontier_per_drive = 8) () =
+  let free = Array.init drives (fun _ -> Queue.create ()) in
+  Array.iter
+    (fun q ->
+      for au = 0 to aus_per_drive - 1 do
+        Queue.add au q
+      done)
+    free;
+  {
+    layout;
+    drives;
+    aus_per_drive;
+    frontier_per_drive;
+    free;
+    used = Hashtbl.create 256;
+    frontier = [];
+    persisted = [];
+    speculative = [];
+    generation = 0;
+    rotation = 0;
+    allocated_since_mark = [];
+  }
+
+let dedupe members =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun (m : Segment.member) ->
+      let key = (m.Segment.drive, m.Segment.au) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.replace seen key ();
+        true
+      end)
+    members
+
+let take_batch t =
+  (* Pull up to frontier_per_drive free AUs from every drive. *)
+  let batch = ref [] in
+  for d = 0 to t.drives - 1 do
+    for _ = 1 to t.frontier_per_drive do
+      match Queue.take_opt t.free.(d) with
+      | Some au -> batch := { Segment.drive = d; au } :: !batch
+      | None -> ()
+    done
+  done;
+  !batch
+
+(* Refill: promote the speculative set to the live frontier and draw a new
+   speculative batch; both become the persisted snapshot. *)
+let refill t =
+  let promoted = if t.speculative = [] then take_batch t else t.speculative in
+  let next_spec = take_batch t in
+  if promoted <> [] || next_spec <> [] then begin
+    t.frontier <- t.frontier @ [ promoted ];
+    t.speculative <- next_spec;
+    t.persisted <- t.allocated_since_mark @ List.concat t.frontier @ t.speculative;
+    t.generation <- t.generation + 1
+  end
+
+let frontier_pool t = List.concat t.frontier
+
+let pop_member t ~drive =
+  (* Remove one frontier slot on [drive]; returns it. *)
+  let found = ref None in
+  let strip group =
+    if !found <> None then group
+    else begin
+      let rec go acc = function
+        | [] -> List.rev acc
+        | (m : Segment.member) :: rest when m.Segment.drive = drive && !found = None ->
+          found := Some m;
+          List.rev_append acc rest
+        | m :: rest -> go (m :: acc) rest
+      in
+      go [] group
+    end
+  in
+  t.frontier <- List.map strip t.frontier;
+  !found
+
+let drives_with_frontier t ~online =
+  let counts = Array.make t.drives 0 in
+  List.iter
+    (fun (m : Segment.member) -> counts.(m.Segment.drive) <- counts.(m.Segment.drive) + 1)
+    (frontier_pool t);
+  let available = ref [] in
+  for i = t.drives - 1 downto 0 do
+    let d = (i + t.rotation) mod t.drives in
+    if online d && counts.(d) > 0 then available := d :: !available
+  done;
+  !available
+
+let allocate t ~online =
+  let want = Layout.members t.layout in
+  let attempt () =
+    let candidates = drives_with_frontier t ~online in
+    if List.length candidates < want then None
+    else begin
+      let chosen = List.filteri (fun i _ -> i < want) candidates in
+      let members =
+        List.map
+          (fun d -> match pop_member t ~drive:d with Some m -> m | None -> assert false)
+          chosen
+      in
+      t.rotation <- (t.rotation + 1) mod t.drives;
+      let arr = Array.of_list members in
+      Array.iter (fun (m : Segment.member) -> Hashtbl.replace t.used (m.Segment.drive, m.Segment.au) ()) arr;
+      t.allocated_since_mark <- members @ t.allocated_since_mark;
+      Some arr
+    end
+  in
+  match attempt () with
+  | Some m -> Some m
+  | None ->
+    refill t;
+    attempt ()
+
+(* Reserve a single AU on any drive satisfying [allowed] (used to remap a
+   segio member whose drive failed before the flush). *)
+let allocate_one t ~allowed =
+  let attempt () =
+    match drives_with_frontier t ~online:allowed with
+    | [] -> None
+    | d :: _ ->
+      let m = match pop_member t ~drive:d with Some m -> m | None -> assert false in
+      Hashtbl.replace t.used (m.Segment.drive, m.Segment.au) ();
+      t.allocated_since_mark <- m :: t.allocated_since_mark;
+      Some m
+  in
+  match attempt () with
+  | Some m -> Some m
+  | None ->
+    refill t;
+    attempt ()
+
+let release t members =
+  Array.iter
+    (fun (m : Segment.member) ->
+      Hashtbl.remove t.used (m.Segment.drive, m.Segment.au);
+      if m.Segment.drive >= 0 && m.Segment.drive < t.drives then
+        Queue.add m.Segment.au t.free.(m.Segment.drive))
+    members
+
+let remove_free t ~drive ~au =
+  let q = t.free.(drive) in
+  let keep = Queue.create () in
+  Queue.iter (fun a -> if a <> au then Queue.add a keep) q;
+  Queue.clear q;
+  Queue.transfer keep q
+
+let mark_used t members =
+  Array.iter
+    (fun (m : Segment.member) ->
+      if not (Hashtbl.mem t.used (m.Segment.drive, m.Segment.au)) then begin
+        Hashtbl.replace t.used (m.Segment.drive, m.Segment.au) ();
+        remove_free t ~drive:m.Segment.drive ~au:m.Segment.au;
+        (* the AU may sit in the allocatable pools (recovery restores the
+           frontier before segments are rediscovered): never hand it out *)
+        let not_this (x : Segment.member) =
+          not (x.Segment.drive = m.Segment.drive && x.Segment.au = m.Segment.au)
+        in
+        t.frontier <- List.map (List.filter not_this) t.frontier;
+        t.speculative <- List.filter not_this t.speculative
+      end)
+    members
+
+let free_au_count t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.free
+let used_au_count t = Hashtbl.length t.used
+let persisted_frontier t = t.persisted
+let persist_generation t = t.generation
+
+let encode_persisted t =
+  let buf = Buffer.create 256 in
+  Varint.write buf (List.length t.persisted);
+  List.iter
+    (fun (m : Segment.member) ->
+      Varint.write buf m.Segment.drive;
+      Varint.write buf m.Segment.au)
+    t.persisted;
+  Buffer.contents buf
+
+let restore_persisted t s =
+  let buf = Bytes.unsafe_of_string s in
+  let n, pos = Varint.read buf ~pos:0 in
+  let p = ref pos in
+  let members = ref [] in
+  for _ = 1 to n do
+    let drive, p1 = Varint.read buf ~pos:!p in
+    let au, p2 = Varint.read buf ~pos:p1 in
+    members := { Segment.drive; au } :: !members;
+    p := p2
+  done;
+  let members = dedupe (List.rev !members) in
+  t.persisted <- members;
+  (* Frontier members not marked used are allocatable again; exclude them
+     from the free queues so they are not handed out twice. *)
+  let fresh = List.filter (fun (m : Segment.member) -> not (Hashtbl.mem t.used (m.Segment.drive, m.Segment.au))) members in
+  List.iter (fun (m : Segment.member) -> remove_free t ~drive:m.Segment.drive ~au:m.Segment.au) fresh;
+  t.frontier <- [ fresh ];
+  t.speculative <- []
+
+let allocated_count t = List.length t.allocated_since_mark
+
+let checkpoint_mark t ~keep ~extra =
+  (* A checkpoint has persisted every fact created before its cut point:
+     segments allocated before the cut no longer need scanning. Entries
+     are prepended on allocation, so the [keep] newest are the first
+     [keep]; [extra] pins additional members (e.g. the still-open segio,
+     which keeps receiving post-checkpoint log records). *)
+  let kept = List.filteri (fun i _ -> i < keep) t.allocated_since_mark in
+  (* [extra] (the open segio) is usually already among the kept
+     allocations: deduplicate, or the persisted list would hand the same
+     AU out twice after a recovery restores it as allocatable *)
+  t.allocated_since_mark <- dedupe (extra @ kept);
+  t.persisted <- t.allocated_since_mark @ List.concat t.frontier @ t.speculative;
+  t.generation <- t.generation + 1

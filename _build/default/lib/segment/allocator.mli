@@ -1,0 +1,75 @@
+(** Allocation-unit allocator with frontier sets (paper §4.3, Figure 5).
+
+    The allocator hands out one free AU per member drive to each new
+    segment. To keep failover fast, it only allocates AUs from the
+    {e persisted frontier set} — the list of AUs, durably recorded in the
+    boot region, that the array "plans to use soon". Recovery therefore
+    scans just those AUs for log records instead of every segment header
+    in the array.
+
+    A {e speculative set} (approximation of the next frontier) is
+    persisted alongside, so the frontier only needs rewriting when both
+    run dry — which is why "frontier set writes consist of well under 1%
+    of writes".
+
+    The allocator is pure state: persistence latency is charged by the
+    caller (the array core writes {!encode_persisted} to the boot region
+    whenever {!persist_generation} changes). *)
+
+type t
+
+val create :
+  layout:Layout.t ->
+  drives:int ->
+  aus_per_drive:int ->
+  ?frontier_per_drive:int ->
+  unit ->
+  t
+(** All AUs start free. [frontier_per_drive] (default 8) is how many AUs
+    per drive each frontier refill makes allocatable. *)
+
+val allocate : t -> online:(int -> bool) -> Segment.member array option
+(** Reserve [k + m] AUs on distinct online drives (least-used first),
+    drawing only from the frontier (refilling it if needed). [None] when
+    fewer than [k + m] drives are online or space is exhausted. *)
+
+val allocate_one : t -> allowed:(int -> bool) -> Segment.member option
+(** Reserve one AU on any drive satisfying [allowed]; used to remap a
+    sealed segio's member whose drive failed before the flush. *)
+
+val release : t -> Segment.member array -> unit
+(** Return a reclaimed segment's AUs to the free pool (after the caller
+    trims them); they re-enter circulation at the next frontier refill. *)
+
+val mark_used : t -> Segment.member array -> unit
+(** Recovery: record that these AUs hold a live segment. *)
+
+val free_au_count : t -> int
+val used_au_count : t -> int
+
+val persisted_frontier : t -> Segment.member list
+(** Frontier ∪ speculative sets as of the last persist — exactly the AUs
+    recovery must scan for recent log records. *)
+
+val persist_generation : t -> int
+(** Bumped each time the persisted sets change; the caller rewrites the
+    boot region when it observes a new generation. The ratio of this
+    counter to segment allocations demonstrates the "<1% of writes"
+    claim. *)
+
+val allocated_count : t -> int
+(** Number of allocations recorded since the last {!checkpoint_mark} —
+    the checkpoint's cut point. *)
+
+val checkpoint_mark : t -> keep:int -> extra:Segment.member list -> unit
+(** Called after a checkpoint persists all metadata facts: AUs allocated
+    before the checkpoint's cut leave the persisted scan set (their facts
+    are covered by checkpointed patches), keeping failover scans small.
+    [keep] retains the newest allocations (made after the cut); [extra]
+    pins further members, e.g. the open segio. Bumps
+    {!persist_generation} so the caller rewrites the boot region. *)
+
+val encode_persisted : t -> string
+val restore_persisted : t -> string -> unit
+(** Install a frontier read back from the boot region.
+    @raise Invalid_argument on malformed input. *)

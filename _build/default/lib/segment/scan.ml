@@ -1,0 +1,43 @@
+module Shelf = Purity_ssd.Shelf
+module Drive = Purity_ssd.Drive
+
+let scan_slots ~layout ~shelf slots k =
+  let found : (int, Segment.t) Hashtbl.t = Hashtbl.create 64 in
+  let pending = ref 0 in
+  let finish () =
+    let segs = Hashtbl.fold (fun _ s acc -> s :: acc) found [] in
+    k (List.sort (fun a b -> Int.compare a.Segment.id b.Segment.id) segs)
+  in
+  let header_len = layout.Layout.header_size in
+  let launch (m : Segment.member) =
+    let drive = Shelf.drive shelf m.Segment.drive in
+    if Drive.is_online drive then begin
+      incr pending;
+      Drive.read drive ~au:m.Segment.au ~off:0 ~len:header_len (fun result ->
+          (match result with
+          | Ok page -> (
+            match Segment.decode_header page with
+            | Some seg -> if not (Hashtbl.mem found seg.Segment.id) then Hashtbl.replace found seg.Segment.id seg
+            | None -> ())
+          | Error _ -> ());
+          decr pending;
+          if !pending = 0 then finish ())
+    end
+  in
+  List.iter launch slots;
+  if !pending = 0 then finish ()
+
+let scan_all ~layout ~shelf k =
+  let slots = ref [] in
+  Array.iter
+    (fun d ->
+      if Drive.is_online d then begin
+        let cfg = Drive.config d in
+        for au = 0 to cfg.Drive.num_aus - 1 do
+          slots := { Segment.drive = Drive.id d; au } :: !slots
+        done
+      end)
+    (Shelf.drives shelf);
+  scan_slots ~layout ~shelf !slots k
+
+let scan_members ~layout ~shelf members k = scan_slots ~layout ~shelf members k

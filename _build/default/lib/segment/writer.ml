@@ -1,0 +1,205 @@
+module Varint = Purity_util.Varint
+module Shelf = Purity_ssd.Shelf
+module Drive = Purity_ssd.Drive
+module Rs = Purity_erasure.Reed_solomon
+
+type t = {
+  layout : Layout.t;
+  shelf : Shelf.t;
+  rs : Rs.t;
+  seg_id : int;
+  members : Segment.member array;
+  buffer : Bytes.t; (* payload_capacity bytes *)
+  mutable data_len : int;
+  log : Buffer.t; (* framed log records, in append order *)
+  mutable seq_lo : int64;
+  mutable seq_hi : int64;
+  mutable sealed : bool;
+  mutable aborted : bool;
+}
+
+let create ~layout ~shelf ~rs ~members ~id =
+  if Array.length members <> Layout.members layout then
+    invalid_arg "Writer.create: member count mismatch";
+  if Rs.k rs <> layout.Layout.k || Rs.m rs <> layout.Layout.m then
+    invalid_arg "Writer.create: RS geometry mismatch";
+  {
+    layout;
+    shelf;
+    rs;
+    seg_id = id;
+    members;
+    buffer = Bytes.make (Layout.payload_capacity layout) '\000';
+    data_len = 0;
+    log = Buffer.create 4096;
+    seq_lo = 0L;
+    seq_hi = 0L;
+    sealed = false;
+    aborted = false;
+  }
+
+let abort t = t.aborted <- true
+
+let set_member t ~index m =
+  if t.sealed then invalid_arg "Writer.set_member: sealed";
+  t.members.(index) <- m
+
+let id t = t.seg_id
+let members t = t.members
+let data_len t = t.data_len
+let log_len t = Buffer.length t.log
+let remaining t = Layout.payload_capacity t.layout - t.data_len - Buffer.length t.log
+let is_empty t = t.data_len = 0 && Buffer.length t.log = 0
+
+let append_data t s =
+  if t.sealed then invalid_arg "Writer.append_data: sealed";
+  let n = String.length s in
+  if n > remaining t then None
+  else begin
+    let off = t.data_len in
+    Bytes.blit_string s 0 t.buffer off n;
+    t.data_len <- off + n;
+    Some off
+  end
+
+let append_log t ~seq record =
+  if t.sealed then invalid_arg "Writer.append_log: sealed";
+  let frame = Buffer.create (String.length record + 12) in
+  Varint.write_i64 frame seq;
+  Varint.write frame (String.length record);
+  Buffer.add_string frame record;
+  if Buffer.length frame > remaining t then false
+  else begin
+    Buffer.add_buffer t.log frame;
+    if t.seq_lo = 0L || Int64.compare seq t.seq_lo < 0 then t.seq_lo <- seq;
+    if Int64.compare seq t.seq_hi > 0 then t.seq_hi <- seq;
+    true
+  end
+
+(* Serve a read from the in-memory buffer: Purity answers reads of
+   not-yet-flushed segios from RAM. Valid for the data region only. *)
+let peek_payload t ~off ~len =
+  if off < 0 || len < 0 || off + len > t.data_len then None
+  else Some (Bytes.sub_string t.buffer off len)
+
+let decode_log_region region =
+  let acc = ref [] in
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue && !pos < Bytes.length region do
+    match
+      let seq, p = Varint.read_i64 region ~pos:!pos in
+      let len, p = Varint.read region ~pos:p in
+      if p + len > Bytes.length region then None
+      else Some (seq, Bytes.sub_string region p len, p + len)
+    with
+    | Some (seq, record, next) ->
+      acc := (seq, record) :: !acc;
+      pos := next
+    | None | (exception Invalid_argument _) -> continue := false
+  done;
+  List.rev !acc
+
+(* Assemble per-shard write-unit chunks for one row. Data columns take the
+   payload slice; parity columns get the RS encoding of the row. *)
+let row_chunks t ~row ~payload_len =
+  let { Layout.k; write_unit = wu; _ } = t.layout in
+  let data =
+    Array.init k (fun c ->
+        let start = ((row * k) + c) * wu in
+        let chunk = Bytes.make wu '\000' in
+        let avail = max 0 (min wu (payload_len - start)) in
+        if avail > 0 then Bytes.blit t.buffer start chunk 0 avail;
+        chunk)
+  in
+  let parity = Rs.encode t.rs data in
+  Array.append data parity
+
+let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
+  if t.sealed then invalid_arg "Writer.finalize: already sealed";
+  t.sealed <- true;
+  (* Pack log records immediately after the data region. *)
+  let log_bytes = Buffer.contents t.log in
+  let log_off = t.data_len in
+  let log_len = String.length log_bytes in
+  Bytes.blit_string log_bytes 0 t.buffer log_off log_len;
+  let payload_len = log_off + log_len in
+  let { Layout.k = dk; write_unit = wu; _ } = t.layout in
+  let rows_used = (payload_len + (dk * wu) - 1) / (dk * wu) in
+  (* [seg] shares the members array, so remaps during the flush are
+     reflected in the final description (and in late header copies). *)
+  let seg =
+    {
+      Segment.id = t.seg_id;
+      members = t.members;
+      payload_len;
+      log_off;
+      log_len;
+      seq_lo = t.seq_lo;
+      seq_hi = t.seq_hi;
+    }
+  in
+  let nm = Array.length t.members in
+  (* Precompute each member's row chunks (fixed per column). *)
+  let row_data = Array.init rows_used (fun row -> row_chunks t ~row ~payload_len) in
+  let member_chunks i =
+    List.init rows_used (fun row ->
+        (t.layout.Layout.header_size + (row * wu), row_data.(row).(i)))
+  in
+  (* Staggered flush: at most [max_writers] members writing at once; each
+     member's chunks go out strictly in order (append-only). A member
+     whose drive fails before or during its writes is remapped to a fresh
+     AU on a healthy drive and restarted from its header — the shard data
+     is all in RAM, so the stripe still reaches full redundancy. With no
+     spare drive the member is skipped and parity absorbs it. *)
+  let pending_members = ref nm in
+  let queue = Queue.create () in
+  for i = 0 to nm - 1 do
+    Queue.add i queue
+  done;
+  let active = ref 0 in
+  let rec pump () =
+    while !active < max_writers && not (Queue.is_empty queue) do
+      let i = Queue.pop queue in
+      incr active;
+      start_member i
+    done
+  and member_done () =
+    decr active;
+    decr pending_members;
+    if !pending_members = 0 then k seg else pump ()
+  and try_remap i =
+    let exclude =
+      Array.to_list (Array.map (fun (m : Segment.member) -> m.Segment.drive) t.members)
+    in
+    match remap ~exclude with
+    | Some repl ->
+      t.members.(i) <- repl;
+      start_member i
+    | None -> member_done ()
+  and start_member i =
+    if t.aborted then ()
+    else begin
+      let m = t.members.(i) in
+      let drive = Shelf.drive t.shelf m.Segment.drive in
+      if not (Drive.is_online drive) then try_remap i
+      else begin
+        let header = Segment.encode_header t.layout seg ~shard:i in
+        run_member i ((0, header) :: member_chunks i)
+      end
+    end
+  and run_member i chunks =
+    if t.aborted then ()
+    else
+      match chunks with
+      | [] -> member_done ()
+      | (off, data) :: rest ->
+        let m = t.members.(i) in
+        let drive = Shelf.drive t.shelf m.Segment.drive in
+        Drive.write_chunk drive ~au:m.Segment.au ~off ~data (function
+          | Ok () -> run_member i rest
+          | Error _ ->
+            (* the drive died mid-flush: restart this shard elsewhere *)
+            if t.aborted then () else try_remap i)
+  in
+  if nm = 0 then k seg else pump ()

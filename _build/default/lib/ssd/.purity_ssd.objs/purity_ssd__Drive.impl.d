@@ -1,0 +1,1 @@
+lib/ssd/drive.ml: Array Bytes Float Hashtbl Int64 Printf Purity_sim Purity_util

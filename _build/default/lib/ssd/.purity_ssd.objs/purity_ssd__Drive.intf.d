@@ -1,0 +1,1 @@
+lib/ssd/drive.mli: Purity_sim Purity_util

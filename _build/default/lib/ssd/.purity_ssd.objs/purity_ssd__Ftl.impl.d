@@ -1,0 +1,1 @@
+lib/ssd/ftl.ml: Array List

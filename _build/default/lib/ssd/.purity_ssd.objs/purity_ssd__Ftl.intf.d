@@ -1,0 +1,1 @@
+lib/ssd/ftl.mli:

@@ -1,0 +1,1 @@
+lib/ssd/nvram.ml: Float Int64 List Purity_sim Queue String

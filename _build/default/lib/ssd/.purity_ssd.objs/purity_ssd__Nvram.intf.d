@@ -1,0 +1,1 @@
+lib/ssd/nvram.mli: Purity_sim

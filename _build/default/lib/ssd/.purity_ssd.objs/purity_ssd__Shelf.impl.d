@@ -1,0 +1,1 @@
+lib/ssd/shelf.ml: Array Drive List Nvram Purity_sim Purity_util

@@ -1,0 +1,1 @@
+lib/ssd/shelf.mli: Drive Nvram Purity_sim Purity_util

@@ -1,0 +1,45 @@
+module Clock = Purity_sim.Clock
+
+type record = { seq : int64; payload : string }
+
+type t = {
+  clock : Clock.t;
+  latency_us : float;
+  mb_s : float;
+  cap : int;
+  log : record Queue.t;
+  mutable used : int;
+  mutable free_at : float;
+}
+
+let create ?(latency_us = 15.0) ?(mb_s = 700.0) ?(capacity = 16 * 1024 * 1024) ~clock () =
+  { clock; latency_us; mb_s; cap = capacity; log = Queue.create (); used = 0; free_at = 0.0 }
+
+let record_size r = String.length r.payload + 16
+
+let commit t r k =
+  let size = record_size r in
+  if t.used + size > t.cap then Clock.schedule t.clock ~delay:1.0 (fun () -> k (Error `Full))
+  else begin
+    Queue.add r t.log;
+    t.used <- t.used + size;
+    let transfer = float_of_int size /. (t.mb_s *. 1024.0 *. 1024.0 /. 1e6) in
+    let start = Float.max (Clock.now t.clock) t.free_at in
+    let finish = start +. t.latency_us +. transfer in
+    t.free_at <- finish;
+    Clock.schedule_at t.clock ~at:finish (fun () -> k (Ok ()))
+  end
+
+let trim_upto t seq =
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt t.log with
+    | Some r when Int64.compare r.seq seq <= 0 ->
+      ignore (Queue.pop t.log);
+      t.used <- t.used - record_size r
+    | _ -> continue := false
+  done
+
+let records t = List.of_seq (Queue.to_seq t.log)
+let used_bytes t = t.used
+let capacity t = t.cap

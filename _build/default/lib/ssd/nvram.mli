@@ -1,0 +1,38 @@
+(** Shelf NVRAM: the low-latency commit device.
+
+    The paper's "NVRAM" is an SLC flash part with bounded latency and a
+    much higher P/E rating than the MLC data drives (§4.1). Purity commits
+    application writes and index insertions here first; segios are flushed
+    asynchronously and the NVRAM is trimmed once the corresponding sequence
+    numbers are durable in segments (§4.2, Figure 4).
+
+    The model is an append-only record log with fixed commit latency plus
+    bandwidth, living in the shelf (so it survives controller failover). *)
+
+type t
+
+type record = { seq : int64; payload : string }
+
+val create :
+  ?latency_us:float ->
+  ?mb_s:float ->
+  ?capacity:int ->
+  clock:Purity_sim.Clock.t ->
+  unit ->
+  t
+(** Defaults: 15 us commit latency, 700 MB/s, 16 MiB capacity. *)
+
+val commit : t -> record -> ((unit, [ `Full ]) result -> unit) -> unit
+(** Durably append a record; the callback fires at simulated completion.
+    [`Full] means the segment writer has fallen behind and the caller must
+    stall (back-pressure, as in the real system). *)
+
+val trim_upto : t -> int64 -> unit
+(** Drop records with [seq] <= the given sequence number: they are now
+    persisted in segments. *)
+
+val records : t -> record list
+(** Surviving records in append order — what recovery replays. *)
+
+val used_bytes : t -> int
+val capacity : t -> int

@@ -1,0 +1,36 @@
+type t = {
+  clock : Purity_sim.Clock.t;
+  drives : Drive.t array;
+  nvram : Nvram.t;
+}
+
+let create ?(drive_config = Drive.default_config) ?nvram_capacity ~clock ~rng ~drives () =
+  if drives < 3 then invalid_arg "Shelf.create: need at least 3 drives";
+  let mk i = Drive.create ~config:drive_config ~clock ~rng:(Purity_util.Rng.split rng) ~id:i () in
+  {
+    clock;
+    drives = Array.init drives mk;
+    nvram = Nvram.create ?capacity:nvram_capacity ~clock ();
+  }
+
+let clock t = t.clock
+let drive_count t = Array.length t.drives
+let drive t i = t.drives.(i)
+let drives t = t.drives
+let nvram t = t.nvram
+
+let online_drives t =
+  Array.to_list t.drives
+  |> List.filter Drive.is_online
+  |> List.map Drive.id
+
+let physical_bytes t =
+  Array.fold_left
+    (fun acc d ->
+      let cfg = Drive.config d in
+      acc + (cfg.Drive.au_size * cfg.Drive.num_aus))
+    0 t.drives
+
+let pull_drive t i = Drive.fail t.drives.(i)
+let reinsert_drive t i = Drive.restore t.drives.(i)
+let replace_drive t i = Drive.replace t.drives.(i)

@@ -1,0 +1,1 @@
+lib/util/xxhash.ml: Bytes Int64 String

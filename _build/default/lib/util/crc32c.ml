@@ -1,0 +1,33 @@
+(* Table-driven CRC-32C with the Castagnoli polynomial (reflected 0x82F63B78). *)
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         c :=
+           if Int32.logand !c 1l <> 0l then
+             Int32.logxor 0x82F63B78l (Int32.shift_right_logical !c 1)
+           else Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let update crc buf ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length buf);
+  let t = Lazy.force table in
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Bytes.get_uint8 buf i))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let digest buf ~pos ~len = update 0l buf ~pos ~len
+
+let digest_string s =
+  digest (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

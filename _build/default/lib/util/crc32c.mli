@@ -1,0 +1,16 @@
+(** CRC-32C (Castagnoli) checksums.
+
+    Segment headers, cblock frames, and NVRAM log entries carry CRC-32C
+    checksums so that recovery can distinguish torn or corrupted writes from
+    valid data (paper §4.3: "recovery must be robust against corrupted
+    pages"). *)
+
+val digest : bytes -> pos:int -> len:int -> int32
+(** Checksum of a byte slice. *)
+
+val digest_string : string -> int32
+(** Checksum of a whole string. *)
+
+val update : int32 -> bytes -> pos:int -> len:int -> int32
+(** Incremental update: [update crc buf ~pos ~len] extends a running
+    checksum previously returned by {!digest} or {!update}. *)

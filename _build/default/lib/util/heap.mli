@@ -1,0 +1,16 @@
+(** Polymorphic binary min-heap.
+
+    Backs the discrete-event simulator's pending-event queue and the
+    garbage collector's "emptiest segment first" victim selection. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list
+(** Elements in arbitrary (heap) order; the heap is unchanged. *)

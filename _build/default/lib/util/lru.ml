@@ -1,0 +1,85 @@
+(* Hash table + intrusive doubly-linked list, head = most recent. *)
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+}
+
+let create ~capacity =
+  assert (capacity > 0);
+  { capacity; table = Hashtbl.create (min capacity 4096); head = None; tail = None }
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+    unlink t node;
+    push_front t node;
+    Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some node ->
+    unlink t node;
+    Hashtbl.remove t.table node.key
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+    node.value <- v;
+    unlink t node;
+    push_front t node
+  | None ->
+    if Hashtbl.length t.table >= t.capacity then evict_lru t;
+    let node = { key = k; value = v; prev = None; next = None } in
+    Hashtbl.replace t.table k node;
+    push_front t node
+
+let length t = Hashtbl.length t.table
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let fold f t init =
+  let rec go acc = function
+    | None -> acc
+    | Some node -> go (f node.key node.value acc) node.next
+  in
+  go init t.head

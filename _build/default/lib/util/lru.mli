@@ -1,0 +1,26 @@
+(** Fixed-capacity LRU cache.
+
+    Used for the inline-dedup recency window (paper §4.7: "inline
+    deduplication only checks for duplicates of recently written data") and
+    for the secondary controller's warmed read cache. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** [capacity] must be positive. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; promotes the entry to most-recently-used on hit. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Membership test without promotion. *)
+
+val add : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or overwrite; evicts the least-recently-used entry when full. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+val length : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+(** Fold over entries in most-recently-used-first order. *)

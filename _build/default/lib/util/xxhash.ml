@@ -1,0 +1,77 @@
+let p1 = 0x9E3779B185EBCA87L
+let p2 = 0xC2B2AE3D27D4EB4FL
+let p3 = 0x165667B19E3779F9L
+let p4 = 0x85EBCA77C2B2AE63L
+let p5 = 0x27D4EB2F165667C5L
+
+let rotl x r =
+  Int64.logor (Int64.shift_left x r) (Int64.shift_right_logical x (64 - r))
+
+let round acc input =
+  let acc = Int64.add acc (Int64.mul input p2) in
+  Int64.mul (rotl acc 31) p1
+
+let merge_round acc v =
+  let acc = Int64.logxor acc (round 0L v) in
+  Int64.add (Int64.mul acc p1) p4
+
+let finalize h =
+  let h = Int64.(mul (logxor h (shift_right_logical h 33)) p2) in
+  let h = Int64.(mul (logxor h (shift_right_logical h 29)) p3) in
+  Int64.(logxor h (shift_right_logical h 32))
+
+let hash ?(seed = 0L) buf ~pos ~len =
+  assert (pos >= 0 && len >= 0 && pos + len <= Bytes.length buf);
+  let stop = pos + len in
+  let p = ref pos in
+  let h =
+    if len >= 32 then begin
+      let v1 = ref (Int64.add (Int64.add seed p1) p2)
+      and v2 = ref (Int64.add seed p2)
+      and v3 = ref seed
+      and v4 = ref (Int64.sub seed p1) in
+      let limit = stop - 32 in
+      while !p <= limit do
+        v1 := round !v1 (Bytes.get_int64_le buf !p);
+        v2 := round !v2 (Bytes.get_int64_le buf (!p + 8));
+        v3 := round !v3 (Bytes.get_int64_le buf (!p + 16));
+        v4 := round !v4 (Bytes.get_int64_le buf (!p + 24));
+        p := !p + 32
+      done;
+      let h =
+        Int64.add
+          (Int64.add (rotl !v1 1) (rotl !v2 7))
+          (Int64.add (rotl !v3 12) (rotl !v4 18))
+      in
+      let h = merge_round h !v1 in
+      let h = merge_round h !v2 in
+      let h = merge_round h !v3 in
+      merge_round h !v4
+    end
+    else Int64.add seed p5
+  in
+  let h = ref (Int64.add h (Int64.of_int len)) in
+  while !p + 8 <= stop do
+    let k = round 0L (Bytes.get_int64_le buf !p) in
+    h := Int64.add (Int64.mul (rotl (Int64.logxor !h k) 27) p1) p4;
+    p := !p + 8
+  done;
+  if !p + 4 <= stop then begin
+    let k = Int64.of_int32 (Bytes.get_int32_le buf !p) in
+    let k = Int64.logand k 0xFFFFFFFFL in
+    h := Int64.add (Int64.mul (rotl (Int64.logxor !h (Int64.mul k p1)) 23) p2) p3;
+    p := !p + 4
+  end;
+  while !p < stop do
+    let k = Int64.of_int (Bytes.get_uint8 buf !p) in
+    h := Int64.mul (rotl (Int64.logxor !h (Int64.mul k p5)) 11) p1;
+    incr p
+  done;
+  finalize !h
+
+let hash_string ?seed s =
+  hash ?seed (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let truncate h ~bits =
+  if bits >= 64 then h
+  else Int64.logand h (Int64.sub (Int64.shift_left 1L bits) 1L)

@@ -1,0 +1,16 @@
+(** xxHash64: the 64-bit non-cryptographic hash used for deduplication.
+
+    Purity records hashes "no larger than 64 bits" for dedup candidates and
+    relies on a byte-level comparison to confirm matches, so hash collisions
+    affect only performance, never correctness (paper §4.7). This is a
+    from-scratch implementation of the xxHash64 algorithm. *)
+
+val hash : ?seed:int64 -> bytes -> pos:int -> len:int -> int64
+(** [hash ?seed buf ~pos ~len] hashes the given slice. *)
+
+val hash_string : ?seed:int64 -> string -> int64
+(** Hash a whole string. *)
+
+val truncate : int64 -> bits:int -> int64
+(** [truncate h ~bits] keeps the low [bits] bits, emulating the short
+    hashes Purity stores in its dedup index to keep the index small. *)

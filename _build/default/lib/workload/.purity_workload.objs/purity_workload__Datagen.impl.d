@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Buffer Bytes Lazy Printf Purity_util String

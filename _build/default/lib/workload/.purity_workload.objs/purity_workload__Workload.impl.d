@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Buffer Bytes Datagen Fmt Hashtbl List Option Purity_core Purity_sim Purity_util String

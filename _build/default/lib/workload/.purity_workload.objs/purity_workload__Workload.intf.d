@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Datagen Fmt Purity_core Purity_util

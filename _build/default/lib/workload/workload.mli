@@ -1,0 +1,77 @@
+(** Workload generators and a closed-loop runner.
+
+    Generators produce streams of block-level operations against a
+    {!Purity_core.Flash_array.t}; the runner keeps a fixed number
+    outstanding (a closed loop, like the iSCSI initiators in the paper's
+    benchmarks) and reports simulated IOPS, bandwidth, and latency
+    percentiles. *)
+
+type op =
+  | Read of { volume : string; block : int; nblocks : int }
+  | Write of { volume : string; block : int; data : string }
+
+type t
+(** A workload: a stateful op generator over one or more volumes. *)
+
+val next_op : t -> op
+
+(** {1 Built-in workloads}
+
+    All sizes in 512 B blocks. Each [make_*] assumes its volumes already
+    exist on the array (see {!provision}). *)
+
+val uniform :
+  seed:int64 ->
+  volumes:(string * int) list ->
+  read_fraction:float ->
+  io_blocks:int ->
+  unit ->
+  t
+(** Uniformly random offsets, fixed I/O size, incompressible data — the
+    worst case for data reduction, the baseline for performance runs
+    (the paper's "32 KiB random I/O" benchmark is [io_blocks = 64]). *)
+
+val oltp : seed:int64 -> volumes:(string * int) list -> unit -> t
+(** OLTP-ish: 70% reads, Zipf-skewed 16 KiB pages (8 KiB–32 KiB mix),
+    RDBMS-page data (compresses 3–8x). *)
+
+val docstore : seed:int64 -> volumes:(string * int) list -> unit -> t
+(** Document-store-ish: 50% reads, larger appends-heavy writes of JSON-ish
+    data (~10x compressible). *)
+
+val vdi :
+  seed:int64 -> volumes:(string * int) list -> datagen:Datagen.t -> unit -> t
+(** Virtual-desktop-ish: 80% reads; writes are OS-image blocks drawn from
+    the shared pool, so concurrent desktops deduplicate heavily. *)
+
+val provision :
+  Purity_core.Flash_array.t -> volumes:(string * int) list -> unit
+(** Create the volumes a workload expects.
+    @raise Invalid_argument if a volume already exists. *)
+
+(** {1 Closed-loop runner} *)
+
+type report = {
+  ops : int;
+  read_ops : int;
+  write_ops : int;
+  errors : int;
+  elapsed_us : float;  (** simulated *)
+  iops : float;
+  bytes_moved : int;
+  throughput_mb_s : float;  (** simulated *)
+  read_lat : Purity_util.Histogram.t;  (** per-op, microseconds *)
+  write_lat : Purity_util.Histogram.t;
+}
+
+val run :
+  Purity_core.Flash_array.t ->
+  t ->
+  ops:int ->
+  concurrency:int ->
+  (report -> unit) ->
+  unit
+(** Issue [ops] operations keeping [concurrency] outstanding; the
+    callback fires (and the clock can be drained) when all complete. *)
+
+val pp_report : report Fmt.t

@@ -1,0 +1,1 @@
+test/test_compress.ml: Alcotest Buffer Bytes Char Gen List Purity_compress Purity_util QCheck QCheck_alcotest String

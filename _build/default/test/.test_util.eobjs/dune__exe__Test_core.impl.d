@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Buffer Bytes Char Int64 List Printf Purity_core Purity_sched Purity_sim Purity_ssd Purity_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_coreparts.ml: Alcotest List Purity_core Purity_sim QCheck QCheck_alcotest String

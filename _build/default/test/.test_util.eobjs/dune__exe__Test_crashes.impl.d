@@ -1,0 +1,1 @@
+test/test_crashes.ml: Alcotest Array Bytes List Option Purity_core Purity_sim Purity_ssd Purity_util String

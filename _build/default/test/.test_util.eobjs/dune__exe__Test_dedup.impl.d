@@ -1,0 +1,1 @@
+test/test_dedup.ml: Alcotest Bytes Int64 List Option Printf Purity_dedup Purity_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_encoding.ml: Alcotest Array Fmt Fun Gen Int Int64 List Printf Purity_encoding QCheck QCheck_alcotest Set

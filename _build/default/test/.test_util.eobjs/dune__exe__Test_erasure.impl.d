@@ -1,0 +1,1 @@
+test/test_erasure.ml: Alcotest Array Bytes Char Fun Int64 List Option Printf Purity_erasure Purity_util QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_medium.ml: Alcotest List Purity_medium QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_pyramid.ml: Alcotest Buffer Bytes Gen Int64 List Option Printf Purity_pyramid QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Bytes List Option Printf Purity_core Purity_replication Purity_sim Purity_ssd Purity_util

@@ -1,0 +1,1 @@
+test/test_segment.ml: Alcotest Array Bytes Char Fun Int64 List Option Printf Purity_erasure Purity_sched Purity_segment Purity_sim Purity_ssd Purity_util String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Gen List Purity_sim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ssd.ml: Alcotest Bytes Char Float Int64 List Printf Purity_sim Purity_ssd Purity_util String

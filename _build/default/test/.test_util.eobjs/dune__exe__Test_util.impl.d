@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bitio Buffer Bytes Crc32c Fun Gen Heap Histogram Int Int64 List Lru Printf Purity_util QCheck QCheck_alcotest Rng Varint Xxhash

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest List Option Printf Purity_baseline Purity_compress Purity_core Purity_sim Purity_ssd Purity_util Purity_workload String

@@ -1,0 +1,177 @@
+module Lz = Purity_compress.Lz
+module Cblock = Purity_compress.Cblock
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let str = Alcotest.string
+
+let roundtrip s =
+  let c = Lz.compress s in
+  Lz.decompress c ~expected_len:(String.length s)
+
+let test_lz_empty () = check str "empty" "" (roundtrip "")
+let test_lz_single_byte () = check str "one byte" "x" (roundtrip "x")
+let test_lz_short () = check str "short" "abc" (roundtrip "abc")
+
+let test_lz_repetitive_compresses () =
+  let s = String.concat "" (List.init 200 (fun _ -> "the quick brown fox ")) in
+  let c = Lz.compress s in
+  check str "roundtrip" s (Lz.decompress c ~expected_len:(String.length s));
+  check bool "compresses >5x" true (String.length c * 5 < String.length s)
+
+let test_lz_rle_overlap () =
+  (* Overlapping-copy case: long run of one byte. *)
+  let s = String.make 10_000 'z' in
+  let c = Lz.compress s in
+  check str "roundtrip" s (Lz.decompress c ~expected_len:10_000);
+  check bool "tiny output" true (String.length c < 100)
+
+let test_lz_incompressible () =
+  let rng = Purity_util.Rng.create ~seed:55L in
+  let s = Bytes.to_string (Purity_util.Rng.bytes rng 4096) in
+  check str "roundtrip random" s (roundtrip s)
+
+let test_lz_long_literal_run () =
+  (* >15 literals forces length extension bytes. *)
+  let s = String.init 300 (fun i -> Char.chr ((i * 7) mod 256)) in
+  check str "roundtrip" s (roundtrip s)
+
+let test_lz_long_match () =
+  (* Match length >> 19 forces match extension bytes. *)
+  let unit = "abcdefgh" in
+  let s = "prefix-" ^ String.concat "" (List.init 1000 (fun _ -> unit)) in
+  check str "roundtrip" s (roundtrip s)
+
+let test_lz_binary_with_zeros () =
+  let s = String.make 100 '\000' ^ "data" ^ String.make 100 '\000' in
+  check str "roundtrip" s (roundtrip s)
+
+let test_lz_bad_input_rejected () =
+  (* An offset pointing before the start of output must be rejected. *)
+  let bogus = "\x04AAAA\x10\x00" in
+  (match Lz.decompress bogus ~expected_len:100 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection");
+  (* Wrong expected length must be rejected. *)
+  let c = Lz.compress "hello world" in
+  match Lz.decompress c ~expected_len:5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected length mismatch rejection"
+
+let test_lz_ratio () =
+  check bool "compressible ratio > 2" true (Lz.ratio (String.make 1000 'a') > 2.0);
+  check bool "empty ratio 1" true (Lz.ratio "" = 1.0)
+
+let prop_lz_roundtrip_random =
+  QCheck.Test.make ~name:"lz roundtrip arbitrary strings" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 2000))
+    (fun s -> roundtrip s = s)
+
+let prop_lz_roundtrip_structured =
+  (* Strings built from a tiny alphabet create pathological match patterns. *)
+  QCheck.Test.make ~name:"lz roundtrip low-entropy strings" ~count:500
+    QCheck.(string_gen_of_size Gen.(0 -- 3000) (Gen.oneofl [ 'a'; 'b' ]))
+    (fun s -> roundtrip s = s)
+
+(* ---------- Cblock ---------- *)
+
+let test_cblock_roundtrip_compressible () =
+  let data = String.concat "" (List.init 64 (fun _ -> "0123456789abcdef")) in
+  let cb = Cblock.of_data data in
+  check bool "chose lz" true (cb.Cblock.encoding = Cblock.Lz);
+  check str "data back" data (Cblock.data cb);
+  check bool "reduction > 1" true (Cblock.reduction cb > 1.0)
+
+let test_cblock_raw_fallback () =
+  let rng = Purity_util.Rng.create ~seed:77L in
+  let data = Bytes.to_string (Purity_util.Rng.bytes rng 512) in
+  let cb = Cblock.of_data data in
+  check bool "fell back to raw" true (cb.Cblock.encoding = Cblock.Raw);
+  check str "data back" data (Cblock.data cb)
+
+let test_cblock_frame_roundtrip () =
+  let blocks = [ "hello"; String.make 512 'q'; ""; "final block of data" ] in
+  let buf = Buffer.create 256 in
+  List.iter (fun d -> Cblock.encode buf (Cblock.of_data d)) blocks;
+  let raw = Buffer.to_bytes buf in
+  let rec decode_all pos acc =
+    if pos >= Bytes.length raw then List.rev acc
+    else begin
+      let cb, next = Cblock.decode raw ~pos in
+      decode_all next (Cblock.data cb :: acc)
+    end
+  in
+  check (Alcotest.list str) "all frames" blocks (decode_all 0 [])
+
+let test_cblock_crc_detects_corruption () =
+  let buf = Buffer.create 64 in
+  Cblock.encode buf (Cblock.of_data (String.make 256 'k'));
+  let raw = Buffer.to_bytes buf in
+  (* flip a payload byte (last byte is always payload for non-empty data) *)
+  let n = Bytes.length raw in
+  Bytes.set_uint8 raw (n - 1) (Bytes.get_uint8 raw (n - 1) lxor 0xFF);
+  match Cblock.decode raw ~pos:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "corruption not detected"
+
+let test_cblock_max_size_enforced () =
+  Alcotest.check_raises "33 KiB rejected"
+    (Invalid_argument "Cblock.of_data: larger than 32 KiB") (fun () ->
+      ignore (Cblock.of_data (String.make ((32 * 1024) + 1) 'x')))
+
+let test_cblock_512b_min_granularity () =
+  (* Paper: 512 B is the minimum dedup/compress unit; a 512 B cblock works. *)
+  let data = String.make 512 '\000' in
+  let cb = Cblock.of_data data in
+  check int "logical len" 512 cb.Cblock.logical_len;
+  check str "roundtrip" data (Cblock.data cb)
+
+let prop_cblock_roundtrip =
+  QCheck.Test.make ~name:"cblock roundtrip arbitrary data" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 4096))
+    (fun s ->
+      let buf = Buffer.create 64 in
+      Cblock.encode buf (Cblock.of_data s);
+      let cb, consumed = Cblock.decode (Buffer.to_bytes buf) ~pos:0 in
+      Cblock.data cb = s && consumed = Buffer.length buf)
+
+let prop_cblock_never_expands_much =
+  (* Raw fallback bounds expansion to the frame header. *)
+  QCheck.Test.make ~name:"cblock stored size bounded" ~count:200
+    QCheck.(string_of_size Gen.(1 -- 4096))
+    (fun s ->
+      let cb = Cblock.of_data s in
+      Cblock.stored_size cb <= String.length s + 16)
+
+let () =
+  Alcotest.run "compress"
+    [
+      ( "lz",
+        [
+          Alcotest.test_case "empty" `Quick test_lz_empty;
+          Alcotest.test_case "single byte" `Quick test_lz_single_byte;
+          Alcotest.test_case "short" `Quick test_lz_short;
+          Alcotest.test_case "repetitive compresses" `Quick test_lz_repetitive_compresses;
+          Alcotest.test_case "rle overlap" `Quick test_lz_rle_overlap;
+          Alcotest.test_case "incompressible" `Quick test_lz_incompressible;
+          Alcotest.test_case "long literal run" `Quick test_lz_long_literal_run;
+          Alcotest.test_case "long match" `Quick test_lz_long_match;
+          Alcotest.test_case "binary zeros" `Quick test_lz_binary_with_zeros;
+          Alcotest.test_case "bad input rejected" `Quick test_lz_bad_input_rejected;
+          Alcotest.test_case "ratio" `Quick test_lz_ratio;
+          QCheck_alcotest.to_alcotest prop_lz_roundtrip_random;
+          QCheck_alcotest.to_alcotest prop_lz_roundtrip_structured;
+        ] );
+      ( "cblock",
+        [
+          Alcotest.test_case "roundtrip compressible" `Quick test_cblock_roundtrip_compressible;
+          Alcotest.test_case "raw fallback" `Quick test_cblock_raw_fallback;
+          Alcotest.test_case "frame stream" `Quick test_cblock_frame_roundtrip;
+          Alcotest.test_case "crc detects corruption" `Quick test_cblock_crc_detects_corruption;
+          Alcotest.test_case "max size enforced" `Quick test_cblock_max_size_enforced;
+          Alcotest.test_case "512B granularity" `Quick test_cblock_512b_min_granularity;
+          QCheck_alcotest.to_alcotest prop_cblock_roundtrip;
+          QCheck_alcotest.to_alcotest prop_cblock_never_expands_much;
+        ] );
+    ]

@@ -1,0 +1,167 @@
+(* Whole-system fault injection: random operation schedules with crashes,
+   drive pulls, GC, checkpoints and scrubs injected at random points. The
+   audited invariant is the array's durability contract: every
+   acknowledged write (that was not later overwritten) reads back intact,
+   and no read ever returns wrong bytes.
+
+   Each scenario is deterministic per seed; failures print the seed. *)
+
+module Clock = Purity_sim.Clock
+module Fa = Purity_core.Flash_array
+module Rng = Purity_util.Rng
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+let config =
+  {
+    Fa.default_config with
+    Fa.drives = 7;
+    k = 3;
+    m = 2;
+    write_unit = 8 * 1024;
+    drive_config =
+      {
+        Purity_ssd.Drive.default_config with
+        Purity_ssd.Drive.au_size = 4096 + (8 * 8192);
+        num_aus = 512;
+        dies = 4;
+      };
+    memtable_flush = 1_000_000;
+  }
+
+let vol_blocks = 2048
+let io_blocks = 16
+
+(* The model: what each block-slot must read as. *)
+type model = { slots : string option array }
+
+let scenario ~seed ~ops ~crashes =
+  let clock = Clock.create () in
+  let a = Fa.create ~config ~clock () in
+  let rng = Rng.create ~seed in
+  let data_rng = Rng.split rng in
+  (match Fa.create_volume a "v" ~blocks:vol_blocks with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "create");
+  let model = { slots = Array.make (vol_blocks / io_blocks) None } in
+  let await f =
+    let r = ref None in
+    f (fun x -> r := Some x);
+    Clock.run clock;
+    Option.get !r
+  in
+  let pulled = ref [] in
+  let crashes_left = ref crashes in
+  let audit_slot slot =
+    let block = slot * io_blocks in
+    match await (Fa.read a ~volume:"v" ~block ~nblocks:io_blocks) with
+    | Ok got -> (
+      match model.slots.(slot) with
+      | Some expect ->
+        if got <> expect then
+          Alcotest.failf "seed %Ld: slot %d corrupted after history" seed slot
+      | None ->
+        if got <> String.make (io_blocks * 512) '\000' then
+          Alcotest.failf "seed %Ld: unwritten slot %d non-zero" seed slot)
+    | Error _ -> Alcotest.failf "seed %Ld: slot %d unreadable" seed slot
+  in
+  for _step = 1 to ops do
+    match Rng.int rng 100 with
+    | n when n < 45 ->
+      (* write *)
+      let slot = Rng.int rng (Array.length model.slots) in
+      let data = Bytes.to_string (Rng.bytes data_rng (io_blocks * 512)) in
+      (match await (Fa.write a ~volume:"v" ~block:(slot * io_blocks) data) with
+      | Ok () -> model.slots.(slot) <- Some data
+      | Error `Backpressure -> () (* not acked: model unchanged *)
+      | Error _ -> Alcotest.failf "seed %Ld: write failed" seed)
+    | n when n < 75 ->
+      (* read + verify *)
+      audit_slot (Rng.int rng (Array.length model.slots))
+    | n when n < 82 && !crashes_left > 0 ->
+      crashes_left := !crashes_left - 1;
+      Fa.crash a;
+      ignore (await (fun k -> Fa.failover a k))
+    | n when n < 88 ->
+      (* pull or reinsert a drive, never exceeding m=2 concurrent pulls *)
+      if List.length !pulled < 2 then begin
+        let d = Rng.int rng config.Fa.drives in
+        if not (List.mem d !pulled) then begin
+          Fa.pull_drive a d;
+          pulled := d :: !pulled
+        end
+      end
+      else begin
+        match !pulled with
+        | d :: rest ->
+          Fa.reinsert_drive a d;
+          pulled := rest
+        | [] -> ()
+      end
+    | n when n < 93 ->
+      ignore (await (fun k -> Fa.gc ~min_dead_ratio:0.3 ~max_victims:8 a (fun r -> k r)))
+    | n when n < 97 -> ignore (await (fun k -> Fa.checkpoint a k))
+    | _ -> ignore (await (fun k -> Fa.flush a (fun () -> k ())))
+  done;
+  (* final full audit *)
+  for slot = 0 to Array.length model.slots - 1 do
+    audit_slot slot
+  done;
+  (* and once more after a final failover *)
+  Fa.crash a;
+  ignore (await (fun k -> Fa.failover a k));
+  for slot = 0 to Array.length model.slots - 1 do
+    audit_slot slot
+  done
+
+let test_seed seed () = scenario ~seed ~ops:120 ~crashes:3
+
+let test_long_haul () =
+  (* a longer single run with heavier churn *)
+  scenario ~seed:424242L ~ops:400 ~crashes:6
+
+let test_no_crash_heavy_gc () =
+  (* overwrite churn with frequent GC: space must keep being reclaimed *)
+  let clock = Clock.create () in
+  let a = Fa.create ~config ~clock () in
+  let rng = Rng.create ~seed:77L in
+  (match Fa.create_volume a "v" ~blocks:vol_blocks with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "create");
+  let await f =
+    let r = ref None in
+    f (fun x -> r := Some x);
+    Clock.run clock;
+    Option.get !r
+  in
+  for round = 1 to 12 do
+    for _ = 1 to 32 do
+      let slot = Rng.int rng (vol_blocks / io_blocks) in
+      let data = Bytes.to_string (Rng.bytes rng (io_blocks * 512)) in
+      ignore (await (Fa.write a ~volume:"v" ~block:(slot * io_blocks) data))
+    done;
+    if round mod 3 = 0 then
+      ignore (await (fun k -> Fa.gc ~min_dead_ratio:0.3 ~max_victims:16 a (fun r -> k r)))
+  done;
+  let s = Fa.stats a in
+  check bool "array not leaking space" true
+    (s.Fa.physical_bytes_used < s.Fa.physical_capacity / 2)
+
+let () =
+  Alcotest.run "crash-consistency"
+    [
+      ( "fault-injection",
+        [
+          Alcotest.test_case "seed 1" `Quick (test_seed 1L);
+          Alcotest.test_case "seed 2" `Quick (test_seed 2L);
+          Alcotest.test_case "seed 3" `Quick (test_seed 3L);
+          Alcotest.test_case "seed 4" `Quick (test_seed 4L);
+          Alcotest.test_case "seed 5" `Quick (test_seed 5L);
+          Alcotest.test_case "seed 6" `Quick (test_seed 6L);
+          Alcotest.test_case "seed 7" `Quick (test_seed 7L);
+          Alcotest.test_case "seed 8" `Quick (test_seed 8L);
+          Alcotest.test_case "long haul" `Slow test_long_haul;
+          Alcotest.test_case "heavy GC churn" `Quick test_no_crash_heavy_gc;
+        ] );
+    ]

@@ -1,0 +1,469 @@
+module Fact = Purity_pyramid.Fact
+module Patch = Purity_pyramid.Patch
+module Pyramid = Purity_pyramid.Pyramid
+module Seqno = Purity_pyramid.Seqno
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+let str_opt = Alcotest.option Alcotest.string
+
+(* ---------- Seqno ---------- *)
+
+let test_seqno_monotone () =
+  let s = Seqno.create () in
+  check Alcotest.int64 "first" 1L (Seqno.next s);
+  check Alcotest.int64 "second" 2L (Seqno.next s);
+  check Alcotest.int64 "current" 2L (Seqno.current s)
+
+let test_seqno_batch () =
+  let s = Seqno.create () in
+  let lo, hi = Seqno.next_batch s 10 in
+  check Alcotest.int64 "lo" 1L lo;
+  check Alcotest.int64 "hi" 10L hi;
+  check Alcotest.int64 "next after batch" 11L (Seqno.next s)
+
+let test_seqno_restore () =
+  let s = Seqno.create () in
+  Seqno.restore_at_least s 500L;
+  check Alcotest.int64 "restored" 501L (Seqno.next s);
+  Seqno.restore_at_least s 10L;
+  check Alcotest.int64 "never backwards" 502L (Seqno.next s)
+
+(* ---------- Fact ---------- *)
+
+let test_fact_encode_roundtrip () =
+  let facts =
+    [
+      Fact.make ~key:"volume/7/block/42" ~value:"payload bytes" ~seq:99L;
+      Fact.tombstone ~key:"k" ~seq:1L;
+      Fact.make ~key:"" ~value:"" ~seq:Int64.max_int;
+    ]
+  in
+  let buf = Buffer.create 64 in
+  List.iter (Fact.encode buf) facts;
+  let raw = Buffer.to_bytes buf in
+  let rec decode_all pos acc =
+    if pos >= Bytes.length raw then List.rev acc
+    else begin
+      let f, next = Fact.decode raw ~pos in
+      decode_all next (f :: acc)
+    end
+  in
+  let got = decode_all 0 [] in
+  check int "count" 3 (List.length got);
+  List.iter2 (fun a b -> check bool "fact equal" true (Fact.equal a b)) facts got
+
+let test_fact_ordering () =
+  let a = Fact.make ~key:"a" ~value:"1" ~seq:5L in
+  let a_newer = Fact.make ~key:"a" ~value:"2" ~seq:9L in
+  let b = Fact.make ~key:"b" ~value:"3" ~seq:1L in
+  check bool "key order first" true (Fact.compare_key_seq a b < 0);
+  check bool "newer seq first within key" true (Fact.compare_key_seq a_newer a < 0)
+
+(* ---------- Patch ---------- *)
+
+let mk key value seq = Fact.make ~key ~value ~seq
+
+let test_patch_sorted_dedup () =
+  let p = Patch.of_facts [ mk "b" "1" 2L; mk "a" "2" 1L; mk "b" "1" 2L; mk "a" "3" 5L ] in
+  check int "dedup to 3" 3 (Patch.count p);
+  match Patch.to_list p with
+  | [ f1; f2; f3 ] ->
+    check Alcotest.string "a newest first" "3" (Option.get f1.Fact.value);
+    check Alcotest.string "a older" "2" (Option.get f2.Fact.value);
+    check Alcotest.string "b" "1" (Option.get f3.Fact.value)
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_patch_find () =
+  let p = Patch.of_facts [ mk "k" "v1" 1L; mk "k" "v2" 2L; mk "z" "zz" 3L ] in
+  (match Patch.find_latest p "k" with
+  | Some f -> check Alcotest.string "latest wins" "v2" (Option.get f.Fact.value)
+  | None -> Alcotest.fail "missing");
+  check int "all versions" 2 (List.length (Patch.find p "k"));
+  check int "absent" 0 (List.length (Patch.find p "nope"))
+
+let test_patch_merge_idempotent () =
+  let p = Patch.of_facts [ mk "a" "1" 1L; mk "b" "2" 2L ] in
+  let q = Patch.of_facts [ mk "b" "2" 2L; mk "c" "3" 3L ] in
+  let m1 = Patch.merge p q in
+  let m2 = Patch.merge m1 m1 in
+  check int "merge dedups" 3 (Patch.count m1);
+  check int "self-merge is identity" 3 (Patch.count m2);
+  let m_comm = Patch.merge q p in
+  check bool "commutative" true
+    (List.for_all2 Fact.equal (Patch.to_list m1) (Patch.to_list m_comm))
+
+let test_patch_ranges () =
+  let p = Patch.of_facts [ mk "a" "1" 5L; mk "m" "2" 3L; mk "z" "3" 9L ] in
+  check (Alcotest.option (Alcotest.pair Alcotest.int64 Alcotest.int64)) "seq range"
+    (Some (3L, 9L)) (Patch.seq_range p);
+  check (Alcotest.option (Alcotest.pair Alcotest.string Alcotest.string)) "key range"
+    (Some ("a", "z")) (Patch.key_range p);
+  check int "range query" 2 (List.length (Patch.range p ~lo:"a" ~hi:"m"))
+
+let test_patch_compact () =
+  let p =
+    Patch.of_facts
+      [ mk "a" "old" 1L; mk "a" "new" 2L; Fact.tombstone ~key:"b" ~seq:3L; mk "b" "dead" 1L ]
+  in
+  let c = Patch.compact_latest p ~drop_tombstones:true in
+  check int "one survivor" 1 (Patch.count c);
+  check Alcotest.string "newest a" "new" (Option.get (Patch.get c 0).Fact.value);
+  let c2 = Patch.compact_latest p ~drop_tombstones:false in
+  check int "tombstone kept" 2 (Patch.count c2)
+
+let test_patch_serialize_roundtrip () =
+  let p = Patch.of_facts [ mk "alpha" "1" 1L; Fact.tombstone ~key:"beta" ~seq:2L ] in
+  let p2 = Patch.deserialize (Patch.serialize p) in
+  check bool "roundtrip" true (List.for_all2 Fact.equal (Patch.to_list p) (Patch.to_list p2))
+
+let test_patch_serialize_corruption () =
+  let p = Patch.of_facts [ mk "key" "value" 7L ] in
+  let s = Bytes.of_string (Patch.serialize p) in
+  Bytes.set_uint8 s (Bytes.length s - 1) (Bytes.get_uint8 s (Bytes.length s - 1) lxor 1);
+  match Patch.deserialize (Bytes.to_string s) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "corruption undetected"
+
+let prop_patch_merge_equals_union =
+  QCheck.Test.make ~name:"patch merge = set union of facts" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(0 -- 30) (pair (string_of_size Gen.(1 -- 4)) (int_bound 20)))
+        (list_of_size Gen.(0 -- 30) (pair (string_of_size Gen.(1 -- 4)) (int_bound 20))))
+    (fun (xs, ys) ->
+      let facts l = List.map (fun (k, s) -> mk k (k ^ string_of_int s) (Int64.of_int (s + 1))) l in
+      let p = Patch.of_facts (facts xs) and q = Patch.of_facts (facts ys) in
+      let merged = Patch.merge p q in
+      let expect = Patch.of_facts (facts xs @ facts ys) in
+      List.length (Patch.to_list merged) = List.length (Patch.to_list expect)
+      && List.for_all2 Fact.equal (Patch.to_list merged) (Patch.to_list expect))
+
+(* ---------- Pyramid: tombstone policy ---------- *)
+
+let tomb_pyramid () = Pyramid.create ~policy:Pyramid.Tombstones ~name:"t" ()
+
+let test_pyr_insert_find () =
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"a" ~value:"1";
+  Pyramid.insert p ~seq:2L ~key:"b" ~value:"2";
+  check str_opt "a" (Some "1") (Pyramid.find p "a");
+  check str_opt "b" (Some "2") (Pyramid.find p "b");
+  check str_opt "absent" None (Pyramid.find p "c")
+
+let test_pyr_overwrite_latest_wins () =
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"k" ~value:"old";
+  Pyramid.insert p ~seq:5L ~key:"k" ~value:"new";
+  check str_opt "latest" (Some "new") (Pyramid.find p "k");
+  Pyramid.flush p;
+  check str_opt "after flush" (Some "new") (Pyramid.find p "k")
+
+let test_pyr_out_of_order_seq () =
+  (* "confused or lagging writers may safely reorder inserts" *)
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:5L ~key:"k" ~value:"new";
+  Pyramid.insert p ~seq:1L ~key:"k" ~value:"old";
+  check str_opt "seq decides, not arrival" (Some "new") (Pyramid.find p "k")
+
+let test_pyr_tombstone_delete () =
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"k" ~value:"v";
+  Pyramid.delete p ~seq:2L ~key:"k";
+  check str_opt "deleted" None (Pyramid.find p "k");
+  (* reinsertion after delete *)
+  Pyramid.insert p ~seq:3L ~key:"k" ~value:"back";
+  check str_opt "reinserted" (Some "back") (Pyramid.find p "k")
+
+let test_pyr_snapshot_reads () =
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"k" ~value:"v1";
+  Pyramid.insert p ~seq:5L ~key:"k" ~value:"v2";
+  Pyramid.delete p ~seq:9L ~key:"k";
+  check str_opt "at 1" (Some "v1") (Pyramid.find ~snapshot:1L p "k");
+  check str_opt "at 4" (Some "v1") (Pyramid.find ~snapshot:4L p "k");
+  check str_opt "at 5" (Some "v2") (Pyramid.find ~snapshot:5L p "k");
+  check str_opt "at 9 deleted" None (Pyramid.find ~snapshot:9L p "k");
+  check str_opt "snapshot before create" None (Pyramid.find ~snapshot:0L p "k")
+
+let test_pyr_flush_merge_flatten_preserve_reads () =
+  let p = tomb_pyramid () in
+  for i = 1 to 50 do
+    Pyramid.insert p ~seq:(Int64.of_int i) ~key:(Printf.sprintf "k%02d" (i mod 10))
+      ~value:(string_of_int i)
+  done;
+  Pyramid.flush p;
+  for i = 51 to 100 do
+    Pyramid.insert p ~seq:(Int64.of_int i) ~key:(Printf.sprintf "k%02d" (i mod 10))
+      ~value:(string_of_int i)
+  done;
+  Pyramid.flush p;
+  let before = List.init 10 (fun i -> Pyramid.find p (Printf.sprintf "k%02d" i)) in
+  while Pyramid.merge_step p do () done;
+  let after_merge = List.init 10 (fun i -> Pyramid.find p (Printf.sprintf "k%02d" i)) in
+  check (Alcotest.list str_opt) "merge preserves" before after_merge;
+  Pyramid.flatten p;
+  let after_flatten = List.init 10 (fun i -> Pyramid.find p (Printf.sprintf "k%02d" i)) in
+  check (Alcotest.list str_opt) "flatten preserves" before after_flatten;
+  check int "single patch" 1 (Pyramid.patch_count p);
+  check int "flatten drops shadowed facts" 10 (Pyramid.fact_count p)
+
+let test_pyr_tombstones_discarded_at_bottom () =
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"k" ~value:"v";
+  Pyramid.delete p ~seq:2L ~key:"k";
+  Pyramid.flatten p;
+  check int "nothing left" 0 (Pyramid.fact_count p);
+  check str_opt "still deleted" None (Pyramid.find p "k")
+
+let test_pyr_auto_flush () =
+  let p = Pyramid.create ~memtable_flush_count:10 ~policy:Pyramid.Tombstones ~name:"t" () in
+  for i = 1 to 25 do
+    Pyramid.insert p ~seq:(Int64.of_int i) ~key:(string_of_int i) ~value:"x"
+  done;
+  (* two auto-flushes happened; tiered maintenance may have merged them *)
+  check bool "auto-flushed" true (Pyramid.patch_count p >= 1);
+  check int "memtable small" 5 (Pyramid.memtable_size p);
+  check int "all facts present" 25 (Pyramid.fact_count p)
+
+let test_pyr_tiered_compaction_bounds_patches () =
+  (* many equal-sized flushes must not produce many patches *)
+  let p = Pyramid.create ~memtable_flush_count:1_000_000 ~policy:Pyramid.Tombstones ~name:"t" () in
+  let seq = ref 0L in
+  for round = 0 to 63 do
+    for i = 0 to 31 do
+      seq := Int64.add !seq 1L;
+      Pyramid.insert p ~seq:!seq ~key:(Printf.sprintf "%d-%d" round i) ~value:"x"
+    done;
+    Pyramid.flush p
+  done;
+  check bool
+    (Printf.sprintf "patch count %d is logarithmic" (Pyramid.patch_count p))
+    true
+    (Pyramid.patch_count p <= 8);
+  check int "no facts lost" 2048 (Pyramid.fact_count p)
+
+let test_pyr_replay_idempotent () =
+  (* Recovery replays NVRAM facts on top of already-persisted state. *)
+  let p = tomb_pyramid () in
+  let facts =
+    [ Fact.make ~key:"a" ~value:"1" ~seq:1L; Fact.make ~key:"b" ~value:"2" ~seq:2L ]
+  in
+  List.iter (Pyramid.insert_fact p) facts;
+  Pyramid.flush p;
+  (* replay the same facts, twice, out of order *)
+  List.iter (Pyramid.insert_fact p) (List.rev facts);
+  List.iter (Pyramid.insert_fact p) facts;
+  Pyramid.flatten p;
+  check int "no duplicates" 2 (Pyramid.fact_count p);
+  check str_opt "a" (Some "1") (Pyramid.find p "a")
+
+(* ---------- Pyramid: elision policy ---------- *)
+
+(* Keys "medium:offset"; the elide rule extracts the medium id. *)
+let medium_of_fact f =
+  match String.index_opt f.Fact.key ':' with
+  | Some i -> int_of_string (String.sub f.Fact.key 0 i)
+  | None -> -1
+
+let elide_pyramid () = Pyramid.create ~policy:(Pyramid.Elide medium_of_fact) ~name:"m" ()
+
+let test_elide_basic () =
+  let p = elide_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"7:0" ~value:"a";
+  Pyramid.insert p ~seq:2L ~key:"7:1" ~value:"b";
+  Pyramid.insert p ~seq:3L ~key:"8:0" ~value:"c";
+  Pyramid.elide_id p ~seq:4L 7;
+  check str_opt "7:0 elided" None (Pyramid.find p "7:0");
+  check str_opt "7:1 elided" None (Pyramid.find p "7:1");
+  check str_opt "8:0 alive" (Some "c") (Pyramid.find p "8:0")
+
+let test_elide_is_atomic_over_all_matches () =
+  let p = elide_pyramid () in
+  for i = 0 to 99 do
+    Pyramid.insert p ~seq:(Int64.of_int (i + 1)) ~key:(Printf.sprintf "5:%d" i) ~value:"x"
+  done;
+  Pyramid.elide_id p ~seq:200L 5;
+  check int "all hundred retracted" 0 (Pyramid.live_key_count p)
+
+let test_elide_range () =
+  let p = elide_pyramid () in
+  for m = 0 to 9 do
+    Pyramid.insert p ~seq:(Int64.of_int (m + 1)) ~key:(Printf.sprintf "%d:0" m) ~value:"x"
+  done;
+  Pyramid.elide_range p ~seq:100L ~lo:3 ~hi:6;
+  check int "six left" 6 (Pyramid.live_key_count p);
+  check str_opt "2 alive" (Some "x") (Pyramid.find p "2:0");
+  check str_opt "4 dead" None (Pyramid.find p "4:0")
+
+let test_elide_snapshot () =
+  let p = elide_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"7:0" ~value:"a";
+  Pyramid.elide_id p ~seq:5L 7;
+  check str_opt "before elide" (Some "a") (Pyramid.find ~snapshot:4L p "7:0");
+  check str_opt "after elide" None (Pyramid.find ~snapshot:5L p "7:0")
+
+let test_elide_relaxed_reader_sees_ghosts () =
+  let p = elide_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"7:0" ~value:"ghost";
+  Pyramid.elide_id p ~seq:2L 7;
+  check str_opt "strict read" None (Pyramid.find p "7:0");
+  check str_opt "relaxed read observes retracted tuple" (Some "ghost")
+    (Pyramid.find_ignoring_retractions p "7:0")
+
+let test_elide_reclaims_space_on_merge () =
+  let p = elide_pyramid () in
+  for i = 0 to 49 do
+    Pyramid.insert p ~seq:(Int64.of_int (i + 1)) ~key:(Printf.sprintf "1:%d" i) ~value:"x"
+  done;
+  Pyramid.flush p;
+  for i = 0 to 49 do
+    Pyramid.insert p ~seq:(Int64.of_int (i + 100)) ~key:(Printf.sprintf "2:%d" i) ~value:"x"
+  done;
+  Pyramid.flush p;
+  (* tiered maintenance already combined the two flushes into one patch *)
+  Pyramid.elide_id p ~seq:500L 1;
+  check int "facts still stored" 100 (Pyramid.fact_count p);
+  (* the next ordinary merge (triggered by a comparable-size flush) drops
+     the elided facts immediately: no waiting for a tombstone to reach the
+     bottom level *)
+  for i = 0 to 49 do
+    Pyramid.insert p ~seq:(Int64.of_int (i + 200)) ~key:(Printf.sprintf "3:%d" i) ~value:"x"
+  done;
+  Pyramid.flush p;
+  check int "elided facts reclaimed by routine merging" 100 (Pyramid.fact_count p)
+
+let test_elide_table_collapses () =
+  let p = elide_pyramid () in
+  for m = 0 to 999 do
+    Pyramid.elide_id p ~seq:(Int64.of_int (m + 1)) m
+  done;
+  check int "1000 dense elides collapse to 1 range" 1 (Pyramid.elide_range_count p)
+
+let test_elide_delete_raises () =
+  let p = elide_pyramid () in
+  match Pyramid.delete p ~seq:1L ~key:"x" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "delete should be rejected under elision"
+
+let test_tombstone_elide_raises () =
+  let p = tomb_pyramid () in
+  match Pyramid.elide_id p ~seq:1L 5 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "elide should be rejected under tombstones"
+
+let test_pyr_iter_live_ordered () =
+  let p = tomb_pyramid () in
+  Pyramid.insert p ~seq:1L ~key:"c" ~value:"3";
+  Pyramid.insert p ~seq:2L ~key:"a" ~value:"1";
+  Pyramid.insert p ~seq:3L ~key:"b" ~value:"2";
+  Pyramid.delete p ~seq:4L ~key:"b";
+  let keys = ref [] in
+  Pyramid.iter_live p (fun ~key ~value:_ -> keys := key :: !keys);
+  check (Alcotest.list Alcotest.string) "sorted, live only" [ "a"; "c" ] (List.rev !keys)
+
+let test_pyr_range () =
+  let p = tomb_pyramid () in
+  List.iteri
+    (fun i k -> Pyramid.insert p ~seq:(Int64.of_int (i + 1)) ~key:k ~value:k)
+    [ "apple"; "banana"; "cherry"; "date" ];
+  let r = Pyramid.range p ~lo:"b" ~hi:"cz" in
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string)) "range"
+    [ ("banana", "banana"); ("cherry", "cherry") ]
+    r
+
+let prop_pyramid_matches_model =
+  (* Pyramid vs a naive Map model under random insert/delete/flush/merge. *)
+  QCheck.Test.make ~name:"pyramid agrees with naive map model" ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (0 -- 120)
+           (oneof
+              [
+                map
+                  (fun (k, v) -> `Insert (k, v))
+                  (pair (string_size ~gen:(char_range 'a' 'e') (1 -- 2)) (int_bound 100));
+                map (fun k -> `Delete k) (string_size ~gen:(char_range 'a' 'e') (1 -- 2));
+                return `Flush;
+                return `Merge;
+                return `Flatten;
+              ])))
+    (fun ops ->
+      let p = tomb_pyramid () in
+      let model = ref [] in
+      let seq = ref 0L in
+      let next () =
+        seq := Int64.add !seq 1L;
+        !seq
+      in
+      List.iter
+        (function
+          | `Insert (k, v) ->
+            Pyramid.insert p ~seq:(next ()) ~key:k ~value:(string_of_int v);
+            model := (k, Some (string_of_int v)) :: List.remove_assoc k !model
+          | `Delete k ->
+            Pyramid.delete p ~seq:(next ()) ~key:k;
+            model := (k, None) :: List.remove_assoc k !model
+          | `Flush -> Pyramid.flush p
+          | `Merge -> ignore (Pyramid.merge_step p)
+          | `Flatten -> Pyramid.flatten p)
+        ops;
+      List.for_all (fun (k, v) -> Pyramid.find p k = v) !model)
+
+let () =
+  Alcotest.run "pyramid"
+    [
+      ( "seqno",
+        [
+          Alcotest.test_case "monotone" `Quick test_seqno_monotone;
+          Alcotest.test_case "batch" `Quick test_seqno_batch;
+          Alcotest.test_case "restore" `Quick test_seqno_restore;
+        ] );
+      ( "fact",
+        [
+          Alcotest.test_case "encode roundtrip" `Quick test_fact_encode_roundtrip;
+          Alcotest.test_case "ordering" `Quick test_fact_ordering;
+        ] );
+      ( "patch",
+        [
+          Alcotest.test_case "sorted dedup" `Quick test_patch_sorted_dedup;
+          Alcotest.test_case "find" `Quick test_patch_find;
+          Alcotest.test_case "merge idempotent/commutative" `Quick test_patch_merge_idempotent;
+          Alcotest.test_case "ranges" `Quick test_patch_ranges;
+          Alcotest.test_case "compact" `Quick test_patch_compact;
+          Alcotest.test_case "serialize roundtrip" `Quick test_patch_serialize_roundtrip;
+          Alcotest.test_case "serialize corruption" `Quick test_patch_serialize_corruption;
+          QCheck_alcotest.to_alcotest prop_patch_merge_equals_union;
+        ] );
+      ( "pyramid",
+        [
+          Alcotest.test_case "insert/find" `Quick test_pyr_insert_find;
+          Alcotest.test_case "latest wins" `Quick test_pyr_overwrite_latest_wins;
+          Alcotest.test_case "out-of-order seq" `Quick test_pyr_out_of_order_seq;
+          Alcotest.test_case "tombstone delete" `Quick test_pyr_tombstone_delete;
+          Alcotest.test_case "snapshot reads" `Quick test_pyr_snapshot_reads;
+          Alcotest.test_case "flush/merge/flatten preserve" `Quick
+            test_pyr_flush_merge_flatten_preserve_reads;
+          Alcotest.test_case "tombstones dropped at bottom" `Quick
+            test_pyr_tombstones_discarded_at_bottom;
+          Alcotest.test_case "auto flush" `Quick test_pyr_auto_flush;
+          Alcotest.test_case "tiered compaction" `Quick test_pyr_tiered_compaction_bounds_patches;
+          Alcotest.test_case "replay idempotent" `Quick test_pyr_replay_idempotent;
+          Alcotest.test_case "iter_live ordered" `Quick test_pyr_iter_live_ordered;
+          Alcotest.test_case "range" `Quick test_pyr_range;
+          QCheck_alcotest.to_alcotest prop_pyramid_matches_model;
+        ] );
+      ( "elision",
+        [
+          Alcotest.test_case "basic" `Quick test_elide_basic;
+          Alcotest.test_case "atomic over matches" `Quick test_elide_is_atomic_over_all_matches;
+          Alcotest.test_case "range" `Quick test_elide_range;
+          Alcotest.test_case "snapshot" `Quick test_elide_snapshot;
+          Alcotest.test_case "relaxed reader" `Quick test_elide_relaxed_reader_sees_ghosts;
+          Alcotest.test_case "merge reclaims immediately" `Quick test_elide_reclaims_space_on_merge;
+          Alcotest.test_case "table collapses" `Quick test_elide_table_collapses;
+          Alcotest.test_case "delete raises" `Quick test_elide_delete_raises;
+          Alcotest.test_case "elide raises on tombstone table" `Quick test_tombstone_elide_raises;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+module Clock = Purity_sim.Clock
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let flt = Alcotest.float 1e-9
+
+let test_time_starts_at_zero () =
+  let c = Clock.create () in
+  check flt "t=0" 0.0 (Clock.now c)
+
+let test_events_fire_in_time_order () =
+  let c = Clock.create () in
+  let order = ref [] in
+  Clock.schedule c ~delay:30.0 (fun () -> order := 3 :: !order);
+  Clock.schedule c ~delay:10.0 (fun () -> order := 1 :: !order);
+  Clock.schedule c ~delay:20.0 (fun () -> order := 2 :: !order);
+  Clock.run c;
+  check (Alcotest.list Alcotest.int) "order" [ 1; 2; 3 ] (List.rev !order);
+  check flt "final time" 30.0 (Clock.now c)
+
+let test_same_time_fifo () =
+  let c = Clock.create () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Clock.schedule c ~delay:7.0 (fun () -> order := i :: !order)
+  done;
+  Clock.run c;
+  check (Alcotest.list Alcotest.int) "insertion order" [ 1; 2; 3; 4; 5 ] (List.rev !order)
+
+let test_nested_scheduling () =
+  let c = Clock.create () in
+  let fired_at = ref (-1.0) in
+  Clock.schedule c ~delay:5.0 (fun () ->
+      Clock.schedule c ~delay:5.0 (fun () -> fired_at := Clock.now c));
+  Clock.run c;
+  check flt "nested event time" 10.0 !fired_at
+
+let test_run_until () =
+  let c = Clock.create () in
+  let fired = ref [] in
+  Clock.schedule c ~delay:10.0 (fun () -> fired := 10 :: !fired);
+  Clock.schedule c ~delay:50.0 (fun () -> fired := 50 :: !fired);
+  Clock.run_until c 25.0;
+  check (Alcotest.list Alcotest.int) "only first fired" [ 10 ] !fired;
+  check flt "time advanced to stop" 25.0 (Clock.now c);
+  check Alcotest.int "one pending" 1 (Clock.pending c)
+
+let test_negative_delay_clamps () =
+  let c = Clock.create () in
+  Clock.advance c 100.0;
+  let at = ref 0.0 in
+  Clock.schedule c ~delay:(-5.0) (fun () -> at := Clock.now c);
+  Clock.run c;
+  check flt "clamped to now" 100.0 !at
+
+let test_schedule_at_past_clamps () =
+  let c = Clock.create () in
+  Clock.advance c 100.0;
+  let at = ref 0.0 in
+  Clock.schedule_at c ~at:50.0 (fun () -> at := Clock.now c);
+  Clock.run c;
+  check flt "clamped" 100.0 !at
+
+let test_step () =
+  let c = Clock.create () in
+  check bool "no events" false (Clock.step c);
+  Clock.schedule c ~delay:1.0 ignore;
+  check bool "one event" true (Clock.step c);
+  check bool "drained" false (Clock.step c)
+
+let test_advance_never_backwards () =
+  let c = Clock.create () in
+  Clock.advance c 10.0;
+  Clock.advance c (-5.0);
+  check flt "unchanged" 10.0 (Clock.now c)
+
+let prop_clock_monotone =
+  QCheck.Test.make ~name:"observed event times are monotone" ~count:100
+    QCheck.(list_of_size Gen.(1 -- 50) (float_bound_exclusive 1000.0))
+    (fun delays ->
+      let c = Clock.create () in
+      let times = ref [] in
+      List.iter (fun d -> Clock.schedule c ~delay:(abs_float d) (fun () -> times := Clock.now c :: !times)) delays;
+      Clock.run c;
+      let ts = List.rev !times in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono ts)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "starts at zero" `Quick test_time_starts_at_zero;
+          Alcotest.test_case "time order" `Quick test_events_fire_in_time_order;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_run_until;
+          Alcotest.test_case "negative delay clamps" `Quick test_negative_delay_clamps;
+          Alcotest.test_case "past schedule_at clamps" `Quick test_schedule_at_past_clamps;
+          Alcotest.test_case "step" `Quick test_step;
+          Alcotest.test_case "advance never backwards" `Quick test_advance_never_backwards;
+          QCheck_alcotest.to_alcotest prop_clock_monotone;
+        ] );
+    ]
