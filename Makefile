@@ -1,0 +1,19 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all check test bench clean
+
+all:
+	dune build
+
+# The tier-1 gate: full build plus every test suite.
+check:
+	dune build && dune runtest
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

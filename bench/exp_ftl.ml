@@ -53,6 +53,19 @@ let run () =
   let s = Ftl.stats rnd_ftl in
   Printf.printf "\n  random phase: %d erases, %d GC relocations for %d host writes\n"
     s.Ftl.erases s.Ftl.gc_relocations s.Ftl.host_writes;
+  (* both devices join one registry under distinct prefixes; the snapshot
+     rows land in BENCH_E11.json alongside the printed table *)
+  let reg = Purity_telemetry.Registry.create () in
+  Ftl.register_telemetry ~prefix:"ftl/sequential" seq_ftl reg;
+  Ftl.register_telemetry ~prefix:"ftl/random" rnd_ftl reg;
+  List.iter
+    (fun (key, v) ->
+      emit_row ~kind:"bench_metric"
+        [
+          ("key", Json.Str key);
+          ("value", Purity_telemetry.Export.json_of_value v);
+        ])
+    (Purity_telemetry.Registry.snapshot reg);
   Printf.printf
     "\n  Paper: \"flash translation layers behave erratically when exposed to\n\
     \  random writes\" -> Purity presents drives with large sequential writes.\n";

@@ -17,6 +17,8 @@ module Fa = Purity_core.Flash_array
 module Wl = Purity_workload.Workload
 module Dg = Purity_workload.Datagen
 module Histogram = Purity_util.Histogram
+module Registry = Purity_telemetry.Registry
+module Export = Purity_telemetry.Export
 
 let await clock f =
   let r = ref None in
@@ -231,6 +233,55 @@ let replicate_cmd =
   let doc = "Replicate a volume to a second array over a simulated WAN." in
   Cmd.v (Cmd.info "replicate" ~doc) Term.(const replicate $ drives $ seed $ cycles)
 
+(* ---- stats ---- *)
+
+let telemetry_stats drives seed ops concurrency kind export =
+  let clock, a = make_array ~drives ~seed in
+  let volumes = List.init 4 (fun i -> (Printf.sprintf "lun%d" i, 16384)) in
+  Wl.provision a ~volumes;
+  let s64 = Int64.of_int seed in
+  let wl =
+    match kind with
+    | `Uniform -> Wl.uniform ~seed:s64 ~volumes ~read_fraction:0.7 ~io_blocks:64 ()
+    | `Oltp -> Wl.oltp ~seed:s64 ~volumes ()
+    | `Docstore -> Wl.docstore ~seed:s64 ~volumes ()
+    | `Vdi -> Wl.vdi ~seed:s64 ~volumes ~datagen:(Dg.create ~seed:s64) ()
+  in
+  ignore (await clock (Wl.run a wl ~ops ~concurrency));
+  (* exercise the maintenance paths so their counters have something to say *)
+  ignore (await clock (fun k -> Fa.gc a k));
+  ignore (await clock (fun k -> Fa.scrub a k));
+  let snap = Registry.snapshot (Fa.telemetry a) in
+  Fmt.pr "%a@." Registry.pp_snapshot snap;
+  match export with
+  | None -> ()
+  | Some path ->
+    let buf = Buffer.create 4096 in
+    let exporter =
+      Export.create ~tracer:(Fa.tracer a) ~clock ~registry:(Fa.telemetry a)
+        ~sink:(Export.buffer_sink buf) ()
+    in
+    Export.sample exporter;
+    let oc = open_out path in
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote %d phone-home lines to %s\n" (Export.emitted exporter) path
+
+let export_path =
+  let doc = "Write one phone-home JSONL sample (metrics + spans) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "export" ] ~doc ~docv:"FILE")
+
+let stats_cmd =
+  let doc =
+    "Run a workload plus GC and scrub, then print the full telemetry registry: \
+     latency percentiles, data reduction, GC/scrub counters, per-drive wear."
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(
+      const telemetry_stats $ drives $ seed $ ops $ concurrency $ workload_kind
+      $ export_path)
+
 (* ---- protect ---- *)
 
 let protect drives seed ticks =
@@ -268,6 +319,14 @@ let main =
   let doc = "Simulated Purity all-flash array (SIGMOD 2015 reproduction)" in
   Cmd.group
     (Cmd.info "purity-cli" ~doc ~version:"1.0.0")
-    [ smoke_cmd; workload_cmd; drill_cmd; reduction_cmd; replicate_cmd; protect_cmd ]
+    [
+      smoke_cmd;
+      workload_cmd;
+      drill_cmd;
+      reduction_cmd;
+      replicate_cmd;
+      protect_cmd;
+      stats_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -33,14 +33,51 @@ type t = {
   created_at : float;
 }
 
+(* Array-level derived metrics. Registered against the *current*
+   controller's registry — re-run after every failover, since the spare
+   boots with a fresh namespace (path counters reset, exactly as before
+   telemetry existed) while these array-lifetime levels persist. *)
+let register_array_telemetry t =
+  let reg = t.st.tel in
+  Registry.derive_int reg "array/app_reads" (fun () -> t.app_reads);
+  Registry.derive_int reg "array/boot_region_writes" (fun () ->
+      Boot_region.writes t.st.boot);
+  Registry.derive_int reg "array/physical_bytes_used" (fun () ->
+      Allocator.used_au_count t.st.alloc * t.st.cfg.drive_config.Drive.au_size);
+  Registry.derive_int reg "array/physical_capacity" (fun () ->
+      Shelf.physical_bytes t.st.shelf);
+  Registry.derive_int reg "array/live_logical_bytes" (fun () ->
+      Pyramid.live_key_count t.st.blocks * block_size);
+  Registry.derive_int reg "array/provisioned_bytes" (fun () ->
+      Hashtbl.fold
+        (fun _ (v : State.volume) acc -> acc + (v.State.blocks * block_size))
+        t.st.volumes 0);
+  Registry.derive_float reg "array/data_reduction" (fun () ->
+      let used = Allocator.used_au_count t.st.alloc * t.st.cfg.drive_config.Drive.au_size in
+      if used = 0 then 1.0
+      else float_of_int (Pyramid.live_key_count t.st.blocks * block_size) /. float_of_int used);
+  Registry.derive_float reg "array/availability" (fun () ->
+      let elapsed = Clock.now t.clk -. t.created_at in
+      let down =
+        t.total_downtime
+        +. (match t.crash_time with Some at -> Clock.now t.clk -. at | None -> 0.0)
+      in
+      if elapsed <= 0.0 then 1.0 else (elapsed -. down) /. elapsed)
+
 let create ?(config = default_config) ~clock () =
-  { config; clk = clock; st = State.create ~config ~clock (); app_reads = 0;
-    crash_time = None; total_downtime = 0.0; created_at = Clock.now clock }
+  let t =
+    { config; clk = clock; st = State.create ~config ~clock (); app_reads = 0;
+      crash_time = None; total_downtime = 0.0; created_at = Clock.now clock }
+  in
+  register_array_telemetry t;
+  t
 
 let clock t = t.clk
 let shelf t = t.st.shelf
 let state t = t.st
 let is_online t = t.st.online
+let telemetry t = t.st.tel
+let tracer t = t.st.tracer
 
 type vol_error = [ `Exists | `No_such_volume | `Busy | `Is_snapshot | `Is_volume ]
 type write_error = Write_path.error
@@ -266,6 +303,9 @@ let failover ?mode t k =
   Recovery.recover ?mode st' (fun report ->
       State.warm_cache ~from:old_st ~into:st';
       t.st <- st';
+      (* the spare controller's registry is fresh: re-derive the
+         array-lifetime metrics over the new state *)
+      register_array_telemetry t;
       (match t.crash_time with
       | Some at ->
         t.total_downtime <- t.total_downtime +. (Clock.now t.clk -. at);
@@ -313,11 +353,13 @@ let stats t =
     t.total_downtime
     +. (match t.crash_time with Some at -> Clock.now t.clk -. at | None -> 0.0)
   in
+  (* the path counters live in the telemetry registry now; [stats] reads
+     them back through their handles, so both views always agree *)
   {
-    app_writes = st.ws.app_writes;
+    app_writes = Registry.value st.ws.app_writes;
     app_reads = t.app_reads;
-    logical_bytes_written = st.ws.logical_bytes;
-    stored_bytes_written = st.ws.stored_bytes;
+    logical_bytes_written = Registry.value st.ws.logical_bytes;
+    stored_bytes_written = Registry.value st.ws.stored_bytes;
     live_logical_bytes = live_logical;
     physical_bytes_used = physical_used;
     physical_capacity = capacity;
@@ -325,14 +367,14 @@ let stats t =
       (if physical_used = 0 then 1.0
        else float_of_int live_logical /. float_of_int physical_used);
     provisioned_virtual_bytes = provisioned;
-    dedup_blocks = st.ws.dedup_blocks;
-    gc_dedup_blocks = st.ws.gc_dedup_blocks;
+    dedup_blocks = Registry.value st.ws.dedup_blocks;
+    gc_dedup_blocks = Registry.value st.ws.gc_dedup_blocks;
     write_latency = st.write_lat;
     read_latency = st.read_lat;
     io = Io.stats st.io;
     boot_region_writes = Boot_region.writes st.boot;
     segments_live = Hashtbl.length st.segment_metas;
     availability = (if elapsed <= 0.0 then 1.0 else (elapsed -. down) /. elapsed);
-    cache_hits = st.cache_hits;
-    cache_misses = st.cache_misses;
+    cache_hits = Registry.value st.ws.cache_hits;
+    cache_misses = Registry.value st.ws.cache_misses;
   }

@@ -178,6 +178,22 @@ type stats = {
 }
 
 val stats : t -> stats
+(** Point-in-time statistics. The counter-valued fields are read back
+    from the {!telemetry} registry (the write/read paths record straight
+    into it), so this record and a registry snapshot always agree. *)
+
+(** {1 Telemetry} *)
+
+val telemetry : t -> Purity_telemetry.Registry.t
+(** The current controller's metric registry: every subsystem (write
+    path, read path, GC, scrub, recovery, scheduler, drives, NVRAM)
+    records here under hierarchical keys. Replaced on {!failover} — the
+    spare boots with fresh path counters, while array-lifetime levels
+    ([array/...]) are re-derived over the new state. *)
+
+val tracer : t -> Purity_telemetry.Span.tracer
+(** The span tracer: write/read/flush/GC/scrub/recovery hops land here.
+    Also replaced on failover. *)
 
 (** {1 Internals (benchmarks, tests)} *)
 

@@ -92,7 +92,7 @@ let relocate_segment t ~live ~content_cache ~counters seg_id k =
                 match Hashtbl.find_opt content_cache fingerprint with
                 | Some (base, cached) when String.equal cached (Bytes.to_string frame) ->
                   incr dedup_hits;
-                  t.ws.gc_dedup_blocks <- t.ws.gc_dedup_blocks + 1;
+                  Registry.incr t.ws.gc_dedup_blocks;
                   base
                 | _ ->
                   let segment, new_off = store_blob t (Bytes.to_string frame) in
@@ -146,6 +146,15 @@ let flatten_mediums t =
 
 let run ?(min_dead_ratio = 0.25) ?(max_victims = 4) t k =
   let start = Clock.now t.clock in
+  (* pass-level telemetry (registration is idempotent, so grabbing the
+     handles here keeps them tied to the current controller's registry) *)
+  let c_passes = Registry.counter t.tel "gc/passes" in
+  let c_victims = Registry.counter t.tel "gc/victim_segments" in
+  let c_relocated = Registry.counter t.tel "gc/relocated_cblocks" in
+  let c_rel_bytes = Registry.counter t.tel "gc/relocated_bytes" in
+  let c_reclaimed = Registry.counter t.tel "gc/reclaimed_bytes" in
+  let h_pass_us = Registry.histogram t.tel "gc/pass_us" in
+  let gc_span = Span.start t.tracer "gc_pass" in
   let live = liveness t in
   let open_id = match t.open_writer with Some w -> Writer.id w | None -> -1 in
   let protected_ = open_id :: t.checkpoint_segments in
@@ -203,6 +212,20 @@ let run ?(min_dead_ratio = 0.25) ?(max_victims = 4) t k =
           in
           List.iter (release_segment t) releasable;
           maybe_persist_boot t;
+          let duration_us = Clock.now t.clock -. start in
+          Registry.incr c_passes;
+          Registry.add c_victims (List.length releasable);
+          Registry.add c_relocated !relocated;
+          Registry.add c_rel_bytes !rel_bytes;
+          Registry.add c_reclaimed reclaimed;
+          Histogram.record h_pass_us duration_us;
+          Span.finish
+            ~tags:
+              [
+                ("victims", string_of_int (List.length releasable));
+                ("relocated", string_of_int !relocated);
+              ]
+            gc_span;
           k
             {
               victims = releasable;
@@ -211,7 +234,7 @@ let run ?(min_dead_ratio = 0.25) ?(max_victims = 4) t k =
               reclaimed_bytes = reclaimed;
               gc_dedup_hits = !dedup_hits;
               shared_cblocks = !shared_count;
-              duration_us = Clock.now t.clock -. start;
+              duration_us;
             })
     | seg_id :: rest ->
       relocate_segment t ~live ~content_cache ~counters seg_id (fun ok ->

@@ -46,12 +46,26 @@ let read t ~volume ~block ~nblocks k =
       else begin
         let out = Bytes.make (nblocks * block_size) '\000' in
         let fetches, _zeros = plan t ~medium:v.medium ~block ~nblocks in
+        let rspan =
+          Span.start t.tracer
+            ~tags:
+              [
+                ("volume", volume);
+                ("blocks", string_of_int nblocks);
+                ("fetches", string_of_int (List.length fetches));
+              ]
+            "read"
+        in
         let pending = ref (List.length fetches) in
         let failed = ref false in
         let finish () =
-          if !failed then k (Error `Media_failure)
+          if !failed then begin
+            Span.finish ~tags:[ ("error", "media_failure") ] rspan;
+            k (Error `Media_failure)
+          end
           else begin
-            Purity_util.Histogram.record t.read_lat (Clock.now t.clock -. start);
+            Span.finish rspan;
+            Histogram.record t.read_lat (Clock.now t.clock -. start);
             k (Ok (Bytes.unsafe_to_string out))
           end
         in
@@ -111,13 +125,13 @@ let read t ~volume ~block ~nblocks k =
                 with
                 | Some frame ->
                   (* controller-DRAM hit *)
-                  t.cache_hits <- t.cache_hits + 1;
+                  Registry.incr t.ws.cache_hits;
                   Clock.schedule t.clock ~delay:2.0 (fun () ->
                       deliver_frame (Bytes.unsafe_of_string frame);
                       decr pending;
                       if !pending = 0 then finish ())
                 | None -> (
-                  t.cache_misses <- t.cache_misses + 1;
+                  Registry.incr t.ws.cache_misses;
                   match find_segment t f.ref_.Blockref.segment with
                   | None ->
                     failed := true;

@@ -107,13 +107,33 @@ let rebuild_derived t ~medium_next_hint =
 
 let recover ?(mode = Frontier_scan) t k =
   let start = Clock.now t.clock in
+  let c_runs = Registry.counter t.tel "recovery/runs" in
+  let c_headers = Registry.counter t.tel "recovery/headers_scanned" in
+  let c_log_records = Registry.counter t.tel "recovery/log_records" in
+  let c_nvram_records = Registry.counter t.tel "recovery/nvram_records" in
+  let h_recover_us = Registry.histogram t.tel "recovery/duration_us" in
+  let rspan =
+    Span.start t.tracer
+      ~tags:[ ("mode", match mode with Frontier_scan -> "frontier" | Full_scan -> "full") ]
+      "recovery"
+  in
   let finish ~cold ~headers ~segments ~log_records ~nvram_records ~ckpt_bytes =
     t.online <- true;
     t.boot_time <- Clock.now t.clock;
+    let duration_us = Clock.now t.clock -. start in
+    Registry.incr c_runs;
+    Registry.add c_headers headers;
+    Registry.add c_log_records log_records;
+    Registry.add c_nvram_records nvram_records;
+    Histogram.record h_recover_us duration_us;
+    Span.finish
+      ~tags:
+        [ ("cold", string_of_bool cold); ("segments", string_of_int segments) ]
+      rspan;
     k
       {
         mode;
-        duration_us = Clock.now t.clock -. start;
+        duration_us;
         cold;
         headers_scanned = headers;
         segments_found = segments;

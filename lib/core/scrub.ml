@@ -45,6 +45,13 @@ let check_segment t (meta : Segment.t) k =
 
 let run t k =
   let start = Clock.now t.clock in
+  let c_passes = Registry.counter t.tel "scrub/passes" in
+  let c_checked = Registry.counter t.tel "scrub/segments_checked" in
+  let c_members = Registry.counter t.tel "scrub/members_read" in
+  let c_corrupt = Registry.counter t.tel "scrub/corrupt_members" in
+  let c_relocated = Registry.counter t.tel "scrub/segments_relocated" in
+  let h_pass_us = Registry.histogram t.tel "scrub/pass_us" in
+  let scrub_span = Span.start t.tracer "scrub_pass" in
   let open_id = match t.open_writer with Some w -> Writer.id w | None -> -1 in
   let targets =
     Hashtbl.fold (fun id m acc -> if id = open_id then acc else (id, m) :: acc) t.segment_metas []
@@ -72,13 +79,27 @@ let run t k =
         seal_current t;
         when_flushed t (fun () ->
             List.iter (Gc.release_segment t) !released;
+            let duration_us = Clock.now t.clock -. start in
+            Registry.incr c_passes;
+            Registry.add c_checked !checked;
+            Registry.add c_members !members;
+            Registry.add c_corrupt !corrupt;
+            Registry.add c_relocated (List.length !released);
+            Histogram.record h_pass_us duration_us;
+            Span.finish
+              ~tags:
+                [
+                  ("checked", string_of_int !checked);
+                  ("corrupt", string_of_int !corrupt);
+                ]
+              scrub_span;
             k
               {
                 segments_checked = !checked;
                 members_read = !members;
                 corrupt_members = !corrupt;
                 segments_relocated = List.length !released;
-                duration_us = Clock.now t.clock -. start;
+                duration_us;
               })
       | seg_id :: rest ->
         Gc.relocate_segment t ~live:(Lazy.force live) ~content_cache ~counters seg_id

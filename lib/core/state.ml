@@ -24,6 +24,8 @@ module Seqno = Purity_pyramid.Seqno
 module Medium = Purity_medium.Medium
 module Dedup = Purity_dedup.Dedup
 module Cblock = Purity_compress.Cblock
+module Registry = Purity_telemetry.Registry
+module Span = Purity_telemetry.Span
 
 let block_size = 512
 let max_cblock_blocks = Cblock.max_logical / block_size
@@ -121,17 +123,25 @@ let inferred_io_blocks obs =
     1 lsl !best
   end
 
+(* The write/read-path counters, as registry handles: the telemetry
+   registry owns the cells, the hot paths record through them, and
+   Flash_array.stats (and the phone-home exporter) read them back. *)
 type write_stats = {
-  mutable app_writes : int;
-  mutable logical_bytes : int; (* application bytes ever written *)
-  mutable stored_bytes : int; (* cblock frames appended to segments *)
-  mutable dedup_blocks : int; (* 512B blocks absorbed by inline dedup *)
-  mutable gc_dedup_blocks : int; (* cblocks collapsed by the GC pass *)
+  app_writes : Registry.counter;
+  logical_bytes : Registry.counter; (* application bytes ever written *)
+  stored_bytes : Registry.counter; (* cblock frames appended to segments *)
+  dedup_blocks : Registry.counter; (* 512B blocks absorbed by inline dedup *)
+  gc_dedup_blocks : Registry.counter; (* cblocks collapsed by the GC pass *)
+  cache_hits : Registry.counter; (* controller-DRAM read cache *)
+  cache_misses : Registry.counter;
+  nvram_commit_us : Histogram.t; (* write intent -> durability ack *)
 }
 
 type t = {
   cfg : config;
   clock : Clock.t;
+  tel : Registry.t;
+  tracer : Span.tracer;
   shelf : Shelf.t;
   layout : Layout.t;
   rs : Rs.t;
@@ -177,8 +187,6 @@ type t = {
   dedup : Dedup.t;
   dedup_locs : (int, Blockref.t) Hashtbl.t; (* dedup write id -> cblock home *)
   read_cache : (int * int, string) Purity_util.Lru.t; (* (segment, off) -> frame *)
-  mutable cache_hits : int;
-  mutable cache_misses : int;
   (* accounting *)
   write_lat : Histogram.t;
   read_lat : Histogram.t;
@@ -200,6 +208,19 @@ let fresh_volatile cfg clock =
     Pyramid.create ~memtable_flush_count ~policy:Pyramid.Tombstones ~name:"volumes" (),
     ignore clock )
 
+(* Derived metrics over controller state: sampled at snapshot time, so
+   the registry exposes live table sizes without per-mutation recording. *)
+let register_derived_telemetry t =
+  let reg = t.tel in
+  Registry.derive_int reg "segments/live" (fun () -> Hashtbl.length t.segment_metas);
+  Registry.derive_int reg "segments/unflushed" (fun () -> Hashtbl.length t.unflushed);
+  Registry.derive_int reg "segments/pending_flushes" (fun () -> t.pending_flush_count);
+  Registry.derive_int reg "segments/next_id" (fun () -> t.next_segment_id);
+  Registry.derive_int reg "volumes/count" (fun () -> Hashtbl.length t.volumes);
+  Registry.derive_int reg "pyramid/blocks_facts" (fun () -> Pyramid.fact_count t.blocks);
+  Registry.derive_int reg "pyramid/blocks_patches" (fun () -> Pyramid.patch_count t.blocks);
+  Registry.derive_int reg "trace/dropped_spans" (fun () -> Span.dropped t.tracer)
+
 let create_over ~config ~clock ~shelf ~boot () =
   let layout =
     Layout.make ~k:config.k ~m:config.m ~write_unit:config.write_unit
@@ -215,9 +236,19 @@ let create_over ~config ~clock ~shelf ~boot () =
       ~aus_per_drive:config.drive_config.Drive.num_aus ()
   in
   let blocks, mediums_pyr, segments_pyr, volumes_pyr, () = fresh_volatile config clock in
-  {
+  (* The controller's metric namespace: a fresh registry per controller
+     generation (a failover boots the spare with zeroed path counters,
+     exactly as the old per-field ints behaved). *)
+  let tel = Registry.create () in
+  let tracer = Span.create_tracer ~clock () in
+  Shelf.register_telemetry shelf tel;
+  Io.register_telemetry io tel;
+  let t =
+    {
     cfg = config;
     clock;
+    tel;
+    tracer;
     shelf;
     layout;
     rs;
@@ -250,17 +281,27 @@ let create_over ~config ~clock ~shelf ~boot () =
     dedup = Dedup.create ~config:config.dedup_config ();
     dedup_locs = Hashtbl.create 1024;
     read_cache = Purity_util.Lru.create ~capacity:(max 1 config.read_cache_entries);
-    cache_hits = 0;
-    cache_misses = 0;
-    write_lat = Histogram.create ();
-    read_lat = Histogram.create ();
+    write_lat = Registry.histogram tel "write_path/latency_us";
+    read_lat = Registry.histogram tel "read_path/latency_us";
     ws =
-      { app_writes = 0; logical_bytes = 0; stored_bytes = 0; dedup_blocks = 0; gc_dedup_blocks = 0 };
+      {
+        app_writes = Registry.counter tel "write_path/app_writes";
+        logical_bytes = Registry.counter tel "write_path/logical_bytes";
+        stored_bytes = Registry.counter tel "write_path/stored_bytes";
+        dedup_blocks = Registry.counter tel "dedup/inline_blocks";
+        gc_dedup_blocks = Registry.counter tel "dedup/gc_blocks";
+        cache_hits = Registry.counter tel "read_path/cache_hits";
+        cache_misses = Registry.counter tel "read_path/cache_misses";
+        nvram_commit_us = Registry.histogram tel "write_path/nvram_commit_us";
+      };
     online = true;
     crashed_at = None;
     downtime_us = 0.0;
     boot_time = Clock.now clock;
-  }
+    }
+  in
+  register_derived_telemetry t;
+  t
 
 let create ?(config = default_config) ~clock () =
   let rng = Rng.create ~seed:config.seed in
@@ -399,7 +440,19 @@ and pump_flush t =
     t.flush_active <- true;
     let w = Queue.pop t.flush_queue in
     let remap ~exclude = allocate_replacement t ~exclude in
-    Writer.finalize w ~max_writers:t.cfg.max_segment_writers ~remap (fun seg ->
+    let flush_span =
+      Span.start t.tracer
+        ~tags:
+          [
+            ("segment", string_of_int (Writer.id w));
+            ("data_len", string_of_int (Writer.data_len w));
+            ("log_len", string_of_int (Writer.log_len w));
+          ]
+        "segio_flush"
+    in
+    Writer.finalize w ~max_writers:t.cfg.max_segment_writers ~remap ~tracer:t.tracer
+      ~parent:flush_span (fun seg ->
+        Span.finish flush_span;
         Hashtbl.replace t.segment_metas seg.Segment.id seg;
         Hashtbl.remove t.unflushed seg.Segment.id;
         (* the segment table fact describes the sealed segment *)

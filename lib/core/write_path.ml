@@ -54,7 +54,7 @@ let store_run t data =
   Cblock.encode buf cb;
   let frame = Buffer.contents buf in
   let segment, off = store_blob t frame in
-  t.ws.stored_bytes <- t.ws.stored_bytes + String.length frame;
+  Registry.add t.ws.stored_bytes (String.length frame);
   { Blockref.segment; off; stored_len = String.length frame; index = 0 }
 
 (* Apply one <=32 KiB chunk: dedup the duplicate runs, store the rest. *)
@@ -81,7 +81,7 @@ let apply_chunk t ~medium ~first_block data =
         covered.(blk) <- true;
         put_block t ~medium ~block:(first_block + blk)
           { base with Blockref.index = h.Dedup.src.Dedup.block + i };
-        t.ws.dedup_blocks <- t.ws.dedup_blocks + 1
+        Registry.incr t.ws.dedup_blocks
       done)
     hits;
   (* store the uncovered runs *)
@@ -142,30 +142,51 @@ let write t ~volume ~block data k =
         | Error (`Out_of_range | `No_such_medium) -> fail `Out_of_range
         | Ok medium ->
           let intent = encode_intent ~medium ~block data in
+          (* trace the multi-hop write: the NVRAM commit and memtable apply
+             are children of one [write] span (segio flush/program spans
+             hang off the asynchronous pump instead) *)
+          let wspan =
+            Span.start t.tracer
+              ~tags:[ ("volume", volume); ("bytes", string_of_int len) ]
+              "write"
+          in
+          let commit_span = Span.start t.tracer ~parent:wspan "nvram_commit" in
           (* intents consume sequence numbers like any other fact; NVRAM
              commit callbacks fire in seq order, so the applied watermark
              is monotone *)
           let intent_seq = Purity_pyramid.Seqno.next t.seqno in
           Nvram.commit (nvram t) { Nvram.seq = intent_seq; payload = intent } (function
             | Error `Full ->
+              Span.finish ~tags:[ ("error", "backpressure") ] commit_span;
+              Span.finish wspan;
               (* NVRAM drains when segios flush; push the current one out
                  if nothing is already flushing, then report backpressure *)
               if t.pending_flush_count = 0 then (try seal_current t with Out_of_space -> ());
               k (Error `Backpressure)
             | Ok () when not t.online ->
+              Span.finish ~tags:[ ("error", "offline") ] commit_span;
+              Span.finish wspan;
               (* the controller died between commit and apply: the intent
                  is in NVRAM and will replay at failover *)
               k (Error `Offline)
             | Ok () -> (
+              Histogram.record t.ws.nvram_commit_us (Clock.now t.clock -. start);
+              Span.finish commit_span;
+              let apply_span = Span.start t.tracer ~parent:wspan "apply" in
               match
                 apply_write ~io_blocks:(inferred_io_blocks v.observer) t ~medium ~block data
               with
               | () ->
+                Span.finish apply_span;
+                Span.finish wspan;
                 t.last_applied_intent <- intent_seq;
-                t.ws.app_writes <- t.ws.app_writes + 1;
-                t.ws.logical_bytes <- t.ws.logical_bytes + len;
+                Registry.incr t.ws.app_writes;
+                Registry.add t.ws.logical_bytes len;
                 t.writes_since_checkpoint <- t.writes_since_checkpoint + 1;
-                Purity_util.Histogram.record t.write_lat (Clock.now t.clock -. start);
+                Histogram.record t.write_lat (Clock.now t.clock -. start);
                 k (Ok ())
-              | exception Out_of_space -> k (Error `No_space)))
+              | exception Out_of_space ->
+                Span.finish ~tags:[ ("error", "no_space") ] apply_span;
+                Span.finish wspan;
+                k (Error `No_space)))
       end

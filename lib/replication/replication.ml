@@ -4,6 +4,8 @@ module State = Purity_core.State
 module Keys = Purity_core.Keys
 module Pyramid = Purity_pyramid.Pyramid
 module Medium = Purity_medium.Medium
+module Registry = Purity_telemetry.Registry
+module Span = Purity_telemetry.Span
 
 type link = { mb_s : float; rtt_us : float }
 
@@ -27,18 +29,35 @@ type t = {
   mutable stats : stats;
 }
 
+(* Expose the replicator's counters in the source array's registry.
+   Derived (not direct) on purpose: a failover hands the source a fresh
+   registry, and re-deriving — idempotent, cheap — re-joins it. *)
+let register_telemetry t =
+  let reg = Fa.telemetry t.source in
+  Registry.derive_int reg "replication/cycles" (fun () -> t.stats.cycles);
+  Registry.derive_int reg "replication/shipped_bytes" (fun () ->
+      t.stats.total_shipped_bytes);
+  Registry.derive_int reg "replication/changed_blocks" (fun () ->
+      t.stats.total_changed_blocks);
+  Registry.derive_int reg "replication/protected_volumes" (fun () ->
+      Hashtbl.length t.volumes)
+
 let create ?(link = default_link) ~source ~target () =
   if Fa.clock source != Fa.clock target then
     invalid_arg "Replication.create: arrays must share one clock";
-  {
-    link;
-    source;
-    target;
-    clock = Fa.clock source;
-    volumes = Hashtbl.create 8;
-    link_free_at = 0.0;
-    stats = { cycles = 0; total_shipped_bytes = 0; total_changed_blocks = 0 };
-  }
+  let t =
+    {
+      link;
+      source;
+      target;
+      clock = Fa.clock source;
+      volumes = Hashtbl.create 8;
+      link_free_at = 0.0;
+      stats = { cycles = 0; total_shipped_bytes = 0; total_changed_blocks = 0 };
+    }
+  in
+  register_telemetry t;
+  t
 
 let protect t name =
   if Hashtbl.mem t.volumes name then Error `Already
@@ -143,8 +162,15 @@ let replicate_once t volume k =
   in
   if p.in_flight then invalid_arg "Replication.replicate_once: cycle already in flight";
   p.in_flight <- true;
+  (* the source may have failed over since the last cycle *)
+  register_telemetry t;
   let started = Clock.now t.clock in
   let cycle = p.cycle + 1 in
+  let cycle_span =
+    Span.start (Fa.tracer t.source)
+      ~tags:[ ("volume", volume); ("cycle", string_of_int (p.cycle + 1)) ]
+      "replication_cycle"
+  in
   let snap_name = Printf.sprintf "%s@repl-%d" volume cycle in
   (match Fa.snapshot t.source ~volume ~snap:snap_name with
   | Ok () -> ()
@@ -197,6 +223,13 @@ let replicate_once t volume k =
         total_shipped_bytes = t.stats.total_shipped_bytes + !shipped;
         total_changed_blocks = t.stats.total_changed_blocks + List.length blocks;
       };
+    Span.finish
+      ~tags:
+        [
+          ("changed_blocks", string_of_int (List.length blocks));
+          ("shipped_bytes", string_of_int !shipped);
+        ]
+      cycle_span;
     k
       {
         volume;

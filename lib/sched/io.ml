@@ -52,6 +52,22 @@ let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
 let read_latencies t = t.latencies
 
+let register_telemetry t reg =
+  let module R = Purity_telemetry.Registry in
+  R.derive_int reg "sched/chunk_reads" (fun () -> t.stats.chunk_reads);
+  R.derive_int reg "sched/direct_reads" (fun () -> t.stats.direct_reads);
+  R.derive_int reg "sched/reconstruct_reads" (fun () -> t.stats.reconstruct_reads);
+  R.derive_int reg "sched/backup_reads" (fun () -> t.stats.backup_reads);
+  R.derive_int reg "sched/peer_reads" (fun () -> t.stats.peer_reads);
+  R.derive_int reg "sched/failures" (fun () -> t.stats.failures);
+  R.derive_float reg "sched/read_amplification" (fun () ->
+      if t.stats.chunk_reads = 0 then 1.0
+      else
+        float_of_int (t.stats.direct_reads + t.stats.peer_reads)
+        /. float_of_int t.stats.chunk_reads);
+  R.attach_histogram reg "sched/segment_read_us" t.latencies;
+  R.attach_histogram reg "sched/direct_read_us" t.direct_latencies
+
 let drive_of t seg column =
   let m = (seg.Segment.members).(column) in
   (Shelf.drive t.shelf m.Segment.drive, m.Segment.au)

@@ -115,9 +115,10 @@ let row_chunks t ~row ~payload_len =
   let parity = Rs.encode t.rs data in
   Array.append data parity
 
-let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
+let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) ?tracer ?parent k =
   if t.sealed then invalid_arg "Writer.finalize: already sealed";
   t.sealed <- true;
+  let module Span = Purity_telemetry.Span in
   (* Pack log records immediately after the data region. *)
   let log_bytes = Buffer.contents t.log in
   let log_off = t.data_len in
@@ -141,7 +142,16 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
   in
   let nm = Array.length t.members in
   (* Precompute each member's row chunks (fixed per column). *)
+  let encode_span =
+    Option.map
+      (fun tr ->
+        Span.start tr ?parent
+          ~tags:[ ("segment", string_of_int t.seg_id); ("rows", string_of_int rows_used) ]
+          "rs_encode")
+      tracer
+  in
   let row_data = Array.init rows_used (fun row -> row_chunks t ~row ~payload_len) in
+  Option.iter (fun s -> Span.finish s) encode_span;
   let member_chunks i =
     List.init rows_used (fun row ->
         (t.layout.Layout.header_size + (row * wu), row_data.(row).(i)))
@@ -158,13 +168,25 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
     Queue.add i queue
   done;
   let active = ref 0 in
+  (* one "program" span per member slot: started when the shard's writes
+     begin, finished (with the final drive) when the shard completes *)
+  let member_spans = Array.make (max 1 nm) None in
+  let finish_member_span i =
+    match member_spans.(i) with
+    | Some s ->
+      Span.tag s "drive" (string_of_int t.members.(i).Segment.drive);
+      Span.finish s;
+      member_spans.(i) <- None
+    | None -> ()
+  in
   let rec pump () =
     while !active < max_writers && not (Queue.is_empty queue) do
       let i = Queue.pop queue in
       incr active;
       start_member i
     done
-  and member_done () =
+  and member_done i =
+    finish_member_span i;
     decr active;
     decr pending_members;
     if !pending_members = 0 then k seg else pump ()
@@ -175,8 +197,9 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
     match remap ~exclude with
     | Some repl ->
       t.members.(i) <- repl;
+      (match member_spans.(i) with Some s -> Span.tag s "remapped" "true" | None -> ());
       start_member i
-    | None -> member_done ()
+    | None -> member_done i
   and start_member i =
     if t.aborted then ()
     else begin
@@ -184,6 +207,15 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
       let drive = Shelf.drive t.shelf m.Segment.drive in
       if not (Drive.is_online drive) then try_remap i
       else begin
+        (match (tracer, member_spans.(i)) with
+        | Some tr, None ->
+          member_spans.(i) <-
+            Some
+              (Span.start tr ?parent
+                 ~tags:
+                   [ ("segment", string_of_int t.seg_id); ("shard", string_of_int i) ]
+                 "program")
+        | _ -> ());
         let header = Segment.encode_header t.layout seg ~shard:i in
         run_member i ((0, header) :: member_chunks i)
       end
@@ -192,7 +224,7 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) k =
     if t.aborted then ()
     else
       match chunks with
-      | [] -> member_done ()
+      | [] -> member_done i
       | (off, data) :: rest ->
         let m = t.members.(i) in
         let drive = Shelf.drive t.shelf m.Segment.drive in

@@ -49,10 +49,16 @@ val finalize :
   t ->
   ?max_writers:int ->
   ?remap:(exclude:int list -> Segment.member option) ->
+  ?tracer:Purity_telemetry.Span.tracer ->
+  ?parent:Purity_telemetry.Span.t ->
   (Segment.t -> unit) ->
   unit
 (** Seal and flush. The callback fires at simulated completion with the
     final segment description (as also persisted in every member header).
+    With [tracer], the flush is traced: an [rs_encode] span for parity
+    computation and one [program] span per member shard (tagged with its
+    final drive), all parented under [parent] so the whole multi-hop
+    write is reconstructable from the trace.
     [max_writers] defaults to 2. A member whose drive is offline (or
     fails mid-flush) is re-homed via [remap] — given the drives already
     in the stripe, return a fresh AU on a healthy drive — and its shard

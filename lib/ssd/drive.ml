@@ -42,10 +42,19 @@ type stats = {
   bytes_written : int;
   trims : int;
   corrupt_reads : int;
+  program_stalls : int;
 }
 
 let zero_stats =
-  { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; trims = 0; corrupt_reads = 0 }
+  {
+    reads = 0;
+    writes = 0;
+    bytes_read = 0;
+    bytes_written = 0;
+    trims = 0;
+    corrupt_reads = 0;
+    program_stalls = 0;
+  }
 
 type t = {
   cfg : config;
@@ -99,6 +108,29 @@ let busy_writing t = Clock.now t.clock < t.write_busy_until
 let wear_to t ~pe = Array.fill t.pe 0 t.cfg.num_aus pe
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
+
+(* Wear summary across the drive's AUs. *)
+let pe_max t = Array.fold_left max 0 t.pe
+
+let pe_mean t =
+  if t.cfg.num_aus = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 t.pe) /. float_of_int t.cfg.num_aus
+
+let register_telemetry t reg =
+  let module R = Purity_telemetry.Registry in
+  let p name = Printf.sprintf "ssd/drive%d/%s" t.drive_id name in
+  R.derive_int reg (p "reads") (fun () -> t.stats.reads);
+  R.derive_int reg (p "writes") (fun () -> t.stats.writes);
+  R.derive_int reg (p "bytes_read") (fun () -> t.stats.bytes_read);
+  R.derive_int reg (p "bytes_written") (fun () -> t.stats.bytes_written);
+  R.derive_int reg (p "trims") (fun () -> t.stats.trims);
+  R.derive_int reg (p "corrupt_reads") (fun () -> t.stats.corrupt_reads);
+  R.derive_int reg (p "program_stalls") (fun () -> t.stats.program_stalls);
+  R.derive_int reg (p "pe_max") (fun () -> pe_max t);
+  R.derive_float reg (p "pe_mean") (fun () -> pe_mean t);
+  R.derive_float reg (p "wear_ratio") (fun () ->
+      pe_mean t /. float_of_int t.cfg.pe_rating);
+  R.derive_int reg (p "online") (fun () -> if t.online then 1 else 0)
 
 let channel_us t len =
   float_of_int len /. (t.cfg.channel_mb_s *. 1024.0 *. 1024.0 /. 1e6)
@@ -235,14 +267,20 @@ let read t ~au ~off ~len k =
     done;
     let now = Clock.now t.clock in
     let flash_done = ref now in
+    let stalled = ref false in
     for d = 0 to t.cfg.dies - 1 do
       if per_die.(d) > 0 then begin
+        if t.die_free_at.(d) > now then stalled := true;
         let start = Float.max now t.die_free_at.(d) in
         let done_at = start +. (float_of_int per_die.(d) *. t.cfg.read_us) in
         t.die_free_at.(d) <- done_at;
         if done_at > !flash_done then flash_done := done_at
       end
     done;
+    (* a read queued behind an in-progress program/erase on its die — the
+       latency spike Purity's scheduler reads around (§4.4) *)
+    if !stalled then
+      t.stats <- { t.stats with program_stalls = t.stats.program_stalls + 1 };
     (* internal parity repairs read the rest of the group *)
     let repair_us =
       float_of_int !internal_repairs *. 15.0 *. t.cfg.read_us /. float_of_int t.cfg.dies

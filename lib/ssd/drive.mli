@@ -109,7 +109,19 @@ type stats = {
   bytes_written : int;
   trims : int;
   corrupt_reads : int;
+  program_stalls : int;
+      (** reads that queued behind an in-progress program or erase on one
+          of their dies — the §4.4 latency-spike events *)
 }
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+val pe_max : t -> int
+(** Highest per-AU P/E count — the wear figure fleet telemetry tracks. *)
+
+val pe_mean : t -> float
+
+val register_telemetry : t -> Purity_telemetry.Registry.t -> unit
+(** Register this drive's counters and wear gauges under
+    [ssd/drive<id>/...] as derived metrics (sampled at snapshot time). *)

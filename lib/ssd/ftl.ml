@@ -143,3 +143,12 @@ let stats t = t.stats
 let write_amplification t =
   if t.stats.host_writes = 0 then 1.0
   else float_of_int t.stats.total_programs /. float_of_int t.stats.host_writes
+
+let register_telemetry ?(prefix = "ftl") t reg =
+  let module R = Purity_telemetry.Registry in
+  let key name = prefix ^ "/" ^ name in
+  R.derive_int reg (key "host_writes") (fun () -> t.stats.host_writes);
+  R.derive_int reg (key "total_programs") (fun () -> t.stats.total_programs);
+  R.derive_int reg (key "erases") (fun () -> t.stats.erases);
+  R.derive_int reg (key "gc_relocations") (fun () -> t.stats.gc_relocations);
+  R.derive_float reg (key "write_amplification") (fun () -> write_amplification t)

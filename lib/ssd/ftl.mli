@@ -50,3 +50,8 @@ val stats : t -> stats
 
 val write_amplification : t -> float
 (** [total_programs / host_writes]; 1.0 until GC starts. *)
+
+val register_telemetry : ?prefix:string -> t -> Purity_telemetry.Registry.t -> unit
+(** Register the FTL's counters and write-amplification gauge under
+    [prefix/...] (default [ftl/...]) as derived metrics, so several FTLs
+    can share one registry. *)

@@ -34,3 +34,12 @@ let physical_bytes t =
 let pull_drive t i = Drive.fail t.drives.(i)
 let reinsert_drive t i = Drive.restore t.drives.(i)
 let replace_drive t i = Drive.replace t.drives.(i)
+
+let register_telemetry t reg =
+  let module R = Purity_telemetry.Registry in
+  Array.iter (fun d -> Drive.register_telemetry d reg) t.drives;
+  R.derive_int reg "ssd/online_drives" (fun () -> List.length (online_drives t));
+  R.derive_int reg "ssd/pe_max" (fun () ->
+      Array.fold_left (fun acc d -> max acc (Drive.pe_max d)) 0 t.drives);
+  R.derive_int reg "nvram/used_bytes" (fun () -> Nvram.used_bytes t.nvram);
+  R.derive_int reg "nvram/capacity" (fun () -> Nvram.capacity t.nvram)

@@ -36,3 +36,8 @@ val pull_drive : t -> int -> unit
 
 val reinsert_drive : t -> int -> unit
 val replace_drive : t -> int -> unit
+
+val register_telemetry : t -> Purity_telemetry.Registry.t -> unit
+(** Register every drive's metrics ([ssd/drive<i>/...]) plus shelf-wide
+    derived metrics ([ssd/online_drives], [ssd/pe_max]) and the NVRAM
+    fill ([nvram/used_bytes], [nvram/capacity]). *)

@@ -75,6 +75,20 @@ let percentile t p =
     scan 0 0
   end
 
+let to_buckets t =
+  let acc = ref [] in
+  for i = bucket_count - 1 downto 0 do
+    if t.buckets.(i) > 0 then acc := (bound_of i, t.buckets.(i)) :: !acc
+  done;
+  !acc
+
+let quantiles t qs =
+  List.map
+    (fun q ->
+      if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantiles: q outside [0, 1]";
+      percentile t (q *. 100.0))
+    qs
+
 let merge_into ~src ~dst =
   Array.iteri (fun i n -> dst.buckets.(i) <- dst.buckets.(i) + n) src.buckets;
   dst.total <- dst.total + src.total;

@@ -33,6 +33,17 @@ val percentile : t -> float -> float
     such that at least [p]% of samples fall at or below it. Returns 0 for
     an empty histogram. *)
 
+val to_buckets : t -> (float * int) list
+(** Occupied buckets as (upper bound, count) pairs in ascending bound
+    order — the serialisation the telemetry exporter ships, from which the
+    distribution (and any percentile) can be reconstructed without access
+    to this module's internals. Empty buckets are omitted. *)
+
+val quantiles : t -> float list -> float list
+(** [quantiles t qs] for quantile fractions in [\[0, 1\]]: each result is
+    [percentile t (q *. 100.)]. @raise Invalid_argument outside the
+    range. *)
+
 val merge_into : src:t -> dst:t -> unit
 (** Add all of [src]'s samples into [dst]. *)
 
