@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test bench clean
+.PHONY: all check test torture bench clean
 
 all:
 	dune build
@@ -11,6 +11,11 @@ check:
 
 test:
 	dune runtest
+
+# Extended fault-injection sweep (~1000 random scenarios through
+# purity.check); minutes, not seconds — deliberately outside tier-1.
+torture:
+	dune build @torture
 
 bench:
 	dune exec bench/main.exe

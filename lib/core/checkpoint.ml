@@ -17,13 +17,28 @@ let chunk_size t = min (256 * 1024) (Layout.payload_capacity t.layout / 2)
 
 let run t k =
   let start = Clock.now t.clock in
+  if not t.online then
+    (* A dead controller cannot checkpoint. Don't continue [k] either:
+       callers release relocated victims right after a checkpoint returns,
+       which must never happen without one. The continuation simply hangs,
+       like a flush waiter at a crash — failover abandons it. *)
+    ()
+  else begin
   (* Quiesce first: once every sealed segio has flushed, its segment-table
      facts are in the pyramids and will be covered by the patches. *)
   seal_current t;
   when_flushed t (fun () ->
+      if not t.online then ()
+      else begin
       let first_ckpt_segment = t.next_segment_id in
       (* cut point: allocations after this stay in the recovery scan set *)
       let cut = Allocator.allocated_count t.alloc in
+      (* seq watermark: every fact at or below this is about to be covered
+         by the patches (the flattens below run synchronously, so nothing
+         slips in between).  Installed into [t.checkpoint_seq] only once
+         the new directory is, so a crash mid-checkpoint leaves the old
+         (dir, watermark) pair intact. *)
+      let cut_seq = Seqno.current t.seqno in
       let pyramids = [ t.blocks; t.mediums_pyr; t.segments_pyr; t.volumes_pyr ] in
       let total_bytes = ref 0 in
       let dir =
@@ -55,6 +70,8 @@ let run t k =
       (* Flush the checkpoint segments, then write the boot region. *)
       seal_current t;
       when_flushed t (fun () ->
+          if not t.online then ()
+          else begin
           let resolve_chunks chunks =
             List.map
               (fun (seg_id, off, len) ->
@@ -64,6 +81,7 @@ let run t k =
               chunks
           in
           let old_ckpt = t.checkpoint_segments in
+          t.checkpoint_seq <- cut_seq;
           t.checkpoint_dir <-
             List.map
               (fun (name, ranges, chunks) -> (name, ranges, resolve_chunks chunks))
@@ -84,6 +102,11 @@ let run t k =
           t.medium_next_id <- max t.medium_next_id (Medium.peek_next_id t.medium_table);
           t.boot_generation_written <- Allocator.persist_generation t.alloc;
           Boot_region.write t.boot (encode_boot t) (fun () ->
+              if not t.online then ()
+                (* crash landed while the boot region was in flight: the
+                   dead controller must neither mutate metadata nor let the
+                   caller release victims — hang, failover abandons us *)
+              else begin
               (* previous checkpoint's segments are now garbage *)
               List.iter
                 (fun seg_id ->
@@ -106,4 +129,8 @@ let run t k =
                   patch_bytes = !total_bytes;
                   segments_used;
                   duration_us = Clock.now t.clock -. start;
-                })))
+                }
+              end)
+          end)
+      end)
+  end

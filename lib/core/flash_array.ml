@@ -257,6 +257,12 @@ let pull_drive t i = Shelf.pull_drive t.st.shelf i
 let reinsert_drive t i = Shelf.reinsert_drive t.st.shelf i
 let replace_drive t i = Shelf.replace_drive t.st.shelf i
 
+let inject_page_corruption t ~drive ~au ~page =
+  Drive.inject_page_corruption (Shelf.drive t.st.shelf drive) ~au ~page
+
+let lose_nvram t = Nvram.lose (Shelf.nvram t.st.shelf)
+let set_read_fault t f = Io.set_fault t.st.io f
+
 let rebuild_drive t drive k =
   let st = t.st in
   (* flush the open segio first so every segment touching the drive is a
@@ -280,8 +286,14 @@ let rebuild_drive t drive k =
     | [] ->
       (try seal_current st with Out_of_space -> ());
       when_flushed st (fun () ->
-          List.iter (Gc.release_segment st) !released;
-          k (List.length !released))
+          if !released = [] then k 0
+          else
+            (* as in GC and scrub: a checkpoint must cover the victims'
+               log records before their headers are destroyed *)
+            Checkpoint.run st (fun _ckpt ->
+                List.iter (Gc.release_segment st) !released;
+                maybe_persist_boot st;
+                k (List.length !released)))
     | seg :: rest ->
       Gc.relocate_segment st ~live ~content_cache ~counters seg (fun ok ->
           if ok then released := seg :: !released;

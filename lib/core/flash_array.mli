@@ -141,6 +141,23 @@ val rebuild_drive : t -> int -> (int -> unit) -> unit
     replaced) drive, restoring full 7+2 redundancy; the callback receives
     the number of segments rebuilt. *)
 
+val inject_page_corruption : t -> drive:int -> au:int -> page:int -> unit
+(** Deterministic fault injection: mark one flash page latently corrupt,
+    as if its charge had leaked (cleared when the AU is next erased). The
+    hook behind [purity.check]'s corruption faults; scrub and degraded
+    reads must repair around it. *)
+
+val lose_nvram : t -> unit
+(** Fault injection: the NVRAM device drops every pending record. Writes
+    acked but not yet durable in flushed segments are the exposure — the
+    reference model treats them as legitimately lost at the next crash. *)
+
+val set_read_fault : t -> (drive:int -> bool) option -> unit
+(** Install (or clear) a read-fault predicate on the segment scheduler:
+    matching drives serve no shards, forcing degraded reads. Installed on
+    the *current* controller — a failover boots the spare with no fault
+    predicate, so re-install after {!failover} if still wanted. *)
+
 val crash : t -> unit
 (** Simulate controller loss: all volatile state is gone; the shelf
     (drives, NVRAM, boot region) survives. The array rejects I/O until

@@ -86,31 +86,36 @@ let relocate_segment t ~live ~content_cache ~counters seg_id k =
               (* cannot move this cblock right now (too many drives out or
                  busy): keep the victim; a later pass retries *)
               all_ok := false
-            | Ok frame ->
-              let fingerprint = Xxhash.hash frame ~pos:0 ~len:(Bytes.length frame) in
-              let base =
-                match Hashtbl.find_opt content_cache fingerprint with
-                | Some (base, cached) when String.equal cached (Bytes.to_string frame) ->
-                  incr dedup_hits;
-                  Registry.incr t.ws.gc_dedup_blocks;
-                  base
-                | _ ->
-                  let segment, new_off = store_blob t (Bytes.to_string frame) in
-                  let base =
-                    { Blockref.segment; off = new_off; stored_len; index = 0 }
-                  in
-                  Hashtbl.replace content_cache fingerprint (base, Bytes.to_string frame);
-                  incr relocated;
-                  rel_bytes := !rel_bytes + stored_len;
-                  base
-              in
-              List.iter
-                (fun (medium, block, index) ->
-                  ignore
-                    (put t t.blocks
-                       ~key:(Keys.block_key ~medium ~block)
-                       ~value:(Blockref.encode { base with Blockref.index })))
-                !refs);
+            | Ok frame -> (
+              (* [store_blob]/[put] raise Out_of_space if the controller
+                 died while the read was in flight (dead controllers
+                 allocate nothing); the victim is then simply kept *)
+              try
+                let fingerprint = Xxhash.hash frame ~pos:0 ~len:(Bytes.length frame) in
+                let base =
+                  match Hashtbl.find_opt content_cache fingerprint with
+                  | Some (base, cached) when String.equal cached (Bytes.to_string frame) ->
+                    incr dedup_hits;
+                    Registry.incr t.ws.gc_dedup_blocks;
+                    base
+                  | _ ->
+                    let segment, new_off = store_blob t (Bytes.to_string frame) in
+                    let base =
+                      { Blockref.segment; off = new_off; stored_len; index = 0 }
+                    in
+                    Hashtbl.replace content_cache fingerprint (base, Bytes.to_string frame);
+                    incr relocated;
+                    rel_bytes := !rel_bytes + stored_len;
+                    base
+                in
+                List.iter
+                  (fun (medium, block, index) ->
+                    ignore
+                      (put t t.blocks
+                         ~key:(Keys.block_key ~medium ~block)
+                         ~value:(Blockref.encode { base with Blockref.index })))
+                  !refs
+              with Out_of_space -> all_ok := false));
             go rest)
     in
     go entries
@@ -196,6 +201,9 @@ let run ?(min_dead_ratio = 0.25) ?(max_victims = 4) t k =
          persists the relocation facts and makes every victim's log
          records redundant (they are covered by the new patches), so the
          victims can be destroyed without losing recovery information *)
+      if not t.online then ()
+        (* crash landed between relocation steps; abandon the pass *)
+      else begin
       flatten_mediums t;
       Checkpoint.run t (fun _ckpt ->
           let releasable = List.rev !releasable in
@@ -236,6 +244,7 @@ let run ?(min_dead_ratio = 0.25) ?(max_victims = 4) t k =
               shared_cblocks = !shared_count;
               duration_us;
             })
+      end
     | seg_id :: rest ->
       relocate_segment t ~live ~content_cache ~counters seg_id (fun ok ->
           if ok then releasable := seg_id :: !releasable;

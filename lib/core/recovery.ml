@@ -28,6 +28,13 @@ type report = {
   checkpoint_bytes : int;
 }
 
+(* Deliberate-bug switches for validating purity.check itself: a checker
+   that cannot catch a recovery that "forgets" step 5 is not checking the
+   durability contract. Never set outside tests. *)
+type chaos = { mutable skip_nvram_replay : bool }
+
+let chaos = { skip_nvram_replay = false }
+
 let replay_log_record t record =
   let buf = Bytes.unsafe_of_string record in
   if Bytes.length buf = 0 then 0
@@ -77,6 +84,25 @@ let rebuild_derived t ~medium_next_hint =
            any stale header copy the scan decoded *)
         Hashtbl.replace t.segment_metas id meta
       | exception Invalid_argument _ -> ());
+  (* A checkpoint can list a segment that was released right after it: GC
+     releases victims only once the covering checkpoint completes, so the
+     release tombstone always postdates the patches and arrives via log or
+     NVRAM replay. The tombstone wins — drop the meta, or GC would release
+     the dead segment a second time and trim AUs long since reused by
+     newer segments. (Its already-marked AUs stay out of circulation; the
+     overlap with live segments makes releasing them here unsafe.) *)
+  let dead =
+    Hashtbl.fold
+      (fun id _ acc ->
+        let key = Keys.segment_key id in
+        if
+          Pyramid.find t.segments_pyr key = None
+          && Pyramid.find_ignoring_retractions t.segments_pyr key <> None
+        then id :: acc
+        else acc)
+      t.segment_metas []
+  in
+  List.iter (Hashtbl.remove t.segment_metas) dead;
   Hashtbl.iter
     (fun id meta ->
       Allocator.mark_used t.alloc meta.Segment.members;
@@ -91,7 +117,17 @@ let rebuild_derived t ~medium_next_hint =
       match Medium.decode_extents value with
       | extents -> rows := (id, extents) :: !rows
       | exception Invalid_argument _ -> ());
-  let next_id = max medium_next_hint (!max_medium + 1) in
+  (* An elided medium id is permanently dead — its elide range outlives the
+     crash — so a freshly allocated medium must never reuse one: the range
+     would silently swallow the new medium's facts at the next failover.
+     The boot-region hint only advances at checkpoints; the elide table is
+     the authority in between. *)
+  let max_elided =
+    Purity_encoding.Ranges.fold
+      (fun ~lo:_ ~hi acc -> max hi acc)
+      (Pyramid.elide_table t.mediums_pyr) 0
+  in
+  let next_id = max medium_next_hint (max (!max_medium + 1) (max_elided + 1)) in
   t.medium_table <- Medium.restore ~rows:!rows ~next_id;
   t.medium_next_id <- next_id;
   (* volumes *)
@@ -104,6 +140,29 @@ let rebuild_derived t ~medium_next_hint =
   List.iter
     (fun pyr -> Seqno.restore_at_least t.seqno (Pyramid.max_seq pyr))
     [ t.blocks; t.mediums_pyr; t.segments_pyr; t.volumes_pyr ]
+
+(* Fallback commit evidence for a scanned segment: every member AU on a
+   reachable drive holds the complete shard (header plus every data row
+   the header's payload length implies).  A member on an offline drive is
+   unknowable and does not condemn the segment; a short member on an
+   online drive marks the flush as torn.  (A freshly replaced drive also
+   reads short — segments that predate the replacement need one of the
+   stronger proofs, which is why the 'S' commit record is NVRAM-backed.) *)
+let scanned_segment_complete t ~claims (seg : Segment.t) =
+  let k = t.layout.Layout.k in
+  let wu = t.layout.Layout.write_unit in
+  let rows = (seg.Segment.payload_len + (k * wu) - 1) / (k * wu) in
+  let expected = t.layout.Layout.header_size + (rows * wu) in
+  Array.for_all
+    (fun (m : Segment.member) ->
+      let d = Shelf.drive t.shelf m.Segment.drive in
+      (not (Drive.is_online d))
+      || ((* the AU's own header must name this segment: a full AU is no
+             proof when it was reused by a newer segment while this stale
+             sibling kept the old id *)
+          Hashtbl.find_opt claims (m.Segment.drive, m.Segment.au) = Some seg.Segment.id
+         && Drive.au_fill d ~au:m.Segment.au >= expected))
+    seg.Segment.members
 
 let recover ?(mode = Frontier_scan) t k =
   let start = Clock.now t.clock in
@@ -155,7 +214,17 @@ let recover ?(mode = Frontier_scan) t k =
       t.medium_next_id <- bb.bb_medium_next;
       t.medium_table <- Medium.restore ~rows:[] ~next_id:bb.bb_medium_next;
       Seqno.restore_at_least t.seqno bb.bb_seq;
+      (* The boot counter can be stale, and the newest surviving facts can
+         undercount the dead generation's allocations when they rode a torn
+         segment.  NVRAM outlives the crash, so the counter must also clear
+         every record it holds — reusing a dead generation's sequence
+         numbers would let its stale stashes outrank this generation's new
+         facts. *)
+      List.iter
+        (fun (r : Nvram.record) -> Seqno.restore_at_least t.seqno r.Nvram.seq)
+        (Nvram.records (nvram t));
       t.checkpoint_dir <- bb.bb_dir;
+      t.checkpoint_seq <- bb.bb_ckpt_seq;
       t.boot_generation_written <- Allocator.persist_generation t.alloc;
       (* load checkpoint patches *)
       let ckpt_bytes = ref 0 in
@@ -207,7 +276,9 @@ let recover ?(mode = Frontier_scan) t k =
       in
       load_dir bb.bb_dir (fun () ->
           t.checkpoint_segments <- List.sort_uniq Int.compare !ckpt_segments;
-          (* scan for log records *)
+          (* scan for log records; [claims] records which segment each
+             physical AU's on-disk header actually names *)
+          let claims = Hashtbl.create 64 in
           let scan k =
             match mode with
             | Full_scan ->
@@ -217,39 +288,114 @@ let recover ?(mode = Frontier_scan) t k =
                     if Drive.is_online d then acc + (Drive.config d).Drive.num_aus else acc)
                   0 (Shelf.drives t.shelf)
               in
-              Scan.scan_all ~layout:t.layout ~shelf:t.shelf (fun segs -> k (headers, segs))
+              Scan.scan_all ~layout:t.layout ~shelf:t.shelf ~claims (fun segs ->
+                  k (headers, segs))
             | Frontier_scan ->
               let slots = Allocator.persisted_frontier t.alloc in
-              Scan.scan_members ~layout:t.layout ~shelf:t.shelf slots (fun segs ->
+              Scan.scan_members ~layout:t.layout ~shelf:t.shelf ~claims slots (fun segs ->
                   k (List.length slots, segs))
           in
           scan (fun (headers, segs) ->
-              (* install scanned segments and replay their log regions *)
+              (* A scanned id is burned even when the segment turns out to
+                 be torn and is dropped: its header stays on disk until the
+                 AU is erased for reuse, and a new segment under the same id
+                 would be shadowed by the stale header at the next
+                 failover's scan (first copy wins). *)
               List.iter
-                (fun (seg : Segment.t) ->
-                  if not (Hashtbl.mem t.segment_metas seg.Segment.id) then begin
-                    Hashtbl.replace t.segment_metas seg.Segment.id seg;
-                    Allocator.mark_used t.alloc seg.Segment.members
-                  end)
+                (fun (s : Segment.t) ->
+                  if s.Segment.id >= t.next_segment_id then
+                    t.next_segment_id <- s.Segment.id + 1)
                 segs;
-              let with_logs =
-                List.filter (fun (s : Segment.t) -> s.Segment.log_len > 0) segs
+              (* Only segments whose flush provably completed may be
+                 installed and have their log regions replayed: a torn
+                 flush can leave the log region readable (it lives on the
+                 members that finished) while the data rows are gone, so
+                 replaying its records would point blockrefs at
+                 unreconstructable rows — shadowing the still-live copies
+                 they were relocating.  Commit proof: the segment is in
+                 the checkpoint, in the segments pyramid, or has a live
+                 'S' stash in NVRAM; log replay of a trusted segment can
+                 commit further segments, so the trust rounds iterate to a
+                 fixpoint.  Failing all that, a fully-present on-disk
+                 image (every online member holds header + all rows) is
+                 accepted — the fallback when NVRAM contents were lost. *)
+              let nvram_commits = Hashtbl.create 16 in
+              List.iter
+                (fun (r : Nvram.record) ->
+                  let p = r.Nvram.payload in
+                  (* stashes at or below the checkpoint watermark carry no
+                     information the patches don't: in particular a released
+                     segment's stale 'S' stash must not count as commit
+                     proof *)
+                  if
+                    Int64.compare r.Nvram.seq t.checkpoint_seq > 0
+                    && String.length p >= 2
+                    && p.[0] = 'F'
+                    && p.[1] = 'S'
+                  then
+                    match Fact.decode (Bytes.unsafe_of_string p) ~pos:2 with
+                    | fact, _ ->
+                      if fact.Fact.value <> None then
+                        Hashtbl.replace nvram_commits
+                          (Keys.segment_key_id fact.Fact.key) ()
+                    | exception Invalid_argument _ -> ())
+                (Nvram.records (nvram t));
+              let committed (seg : Segment.t) =
+                Hashtbl.mem t.segment_metas seg.Segment.id
+                || Pyramid.find t.segments_pyr (Keys.segment_key seg.Segment.id) <> None
+                || Hashtbl.mem nvram_commits seg.Segment.id
+                || scanned_segment_complete t ~claims seg
               in
               let log_records = ref 0 in
-              let rec replay_logs = function
-                | [] -> after_logs ()
+              let trusted = ref [] in
+              let install (seg : Segment.t) =
+                trusted := seg :: !trusted;
+                if not (Hashtbl.mem t.segment_metas seg.Segment.id) then begin
+                  Hashtbl.replace t.segment_metas seg.Segment.id seg;
+                  Allocator.mark_used t.alloc seg.Segment.members
+                end;
+                (* The log records just replayed from this segment are not
+                   covered by any checkpoint yet: keep its members in the
+                   scan set, or the next boot-region rewrite would hide
+                   them from a later failover's frontier scan. *)
+                Allocator.requeue_scan t.alloc seg.Segment.members
+              in
+              let rec replay_logs segs k =
+                match segs with
+                | [] -> k ()
                 | (seg : Segment.t) :: rest ->
-                  Io.read t.io seg ~off:seg.Segment.log_off ~len:seg.Segment.log_len
-                    (fun result ->
-                      (match result with
-                      | Ok region ->
-                        List.iter
-                          (fun (_seq, record) ->
-                            log_records := !log_records + replay_log_record t record)
-                          (Writer.decode_log_region region)
-                      | Error `Unrecoverable -> ());
-                      replay_logs rest)
-              and after_logs () =
+                  if seg.Segment.log_len = 0 then replay_logs rest k
+                  else
+                    Io.read t.io seg ~off:seg.Segment.log_off ~len:seg.Segment.log_len
+                      (fun result ->
+                        (match result with
+                        | Ok region ->
+                          let rs = Writer.decode_log_region region in
+                          List.iter
+                            (fun (seq, record) ->
+                              (* records at or below the checkpoint watermark
+                                 are covered by the patches — and worse, their
+                                 tombstones may have been dropped by the
+                                 checkpoint's full compaction, so replaying
+                                 them would resurrect deleted facts (e.g. a
+                                 released segment's commit record, whose
+                                 re-release would trim AUs reused by live
+                                 segments) *)
+                              if Int64.compare seq t.checkpoint_seq > 0 then
+                                log_records := !log_records + replay_log_record t record)
+                            rs
+                        | Error `Unrecoverable -> ());
+                        replay_logs rest k)
+              in
+              let rec trust_rounds pending k =
+                let now, later = List.partition committed pending in
+                if now = [] then k later
+                else begin
+                  List.iter install now;
+                  replay_logs now (fun () -> trust_rounds later k)
+                end
+              in
+              let after_logs () =
                 rebuild_derived t ~medium_next_hint:bb.bb_medium_next;
                 (* Segments known only from their scanned headers (their
                    'S' fact was in an unflushed segio at the crash) must be
@@ -259,26 +405,37 @@ let recover ?(mode = Frontier_scan) t k =
                 List.iter
                   (fun (seg : Segment.t) ->
                     let key = Keys.segment_key seg.Segment.id in
-                    if Pyramid.find t.segments_pyr key = None then
+                    (* absent only — a tombstoned key means the segment was
+                       released after the covering checkpoint; re-inserting
+                       its fact would resurrect a dead segment over its own
+                       tombstone *)
+                    if
+                      Pyramid.find t.segments_pyr key = None
+                      && Pyramid.find_ignoring_retractions t.segments_pyr key = None
+                    then
                       try ignore (put t t.segments_pyr ~key ~value:(Segment.encode_compact seg))
                       with Out_of_space -> ())
-                  segs;
+                  !trusted;
                 (* NVRAM intents: writes acked but possibly not in any
                    flushed segio; reapply them through the write path *)
-                let records = Nvram.records (nvram t) in
+                let records =
+                  if chaos.skip_nvram_replay then [] else Nvram.records (nvram t)
+                in
                 let n = List.length records in
                 let route tag =
                   match tag with
                   | 'M' -> Some t.mediums_pyr
                   | 'V' -> Some t.volumes_pyr
+                  | 'S' -> Some t.segments_pyr
                   | _ -> None
                 in
                 (* Replayed metadata must become durable again: its NVRAM
                    record will be trimmed at the next segio flush, and the
-                   bare replay would leave the fact memtable-only. Going
-                   through [put]/[put_delete]/[put_elide] re-logs it into
-                   the new segio and re-stashes it with a fresh sequence
-                   number, so a second crash cannot lose it. *)
+                   bare replay would leave the fact memtable-only.  It is
+                   re-inserted, re-logged and re-stashed under its ORIGINAL
+                   sequence number — re-putting with a fresh one would let
+                   a stale stash outrank newer facts recovered from the
+                   patches or the segment logs. *)
                 let replay_meta payload =
                   let buf = Bytes.unsafe_of_string payload in
                   if Bytes.length buf >= 2 then
@@ -286,14 +443,13 @@ let recover ?(mode = Frontier_scan) t k =
                     | None -> ()
                     | Some pyr -> (
                       match Fact.decode buf ~pos:2 with
-                      | fact, _ -> (
-                        match fact.Fact.value with
-                        | Some value ->
-                          (try ignore (put t pyr ~key:fact.Fact.key ~value)
-                           with Out_of_space -> Pyramid.insert_fact pyr fact)
-                        | None ->
-                          (try ignore (put_delete t pyr ~key:fact.Fact.key)
-                           with Out_of_space -> Pyramid.insert_fact pyr fact))
+                      | fact, _ ->
+                        Pyramid.insert_fact pyr fact;
+                        let tag = Bytes.get buf 1 in
+                        (try
+                           log_fact t tag fact;
+                           stash_fact t tag fact
+                         with Out_of_space -> ())
                       | exception Invalid_argument _ -> ())
                 in
                 let replay_elide payload =
@@ -303,15 +459,19 @@ let recover ?(mode = Frontier_scan) t k =
                     | None -> ()
                     | Some pyr -> (
                       match
-                        let _seq, p = Varint.read_i64 buf ~pos:2 in
+                        let seq, p = Varint.read_i64 buf ~pos:2 in
                         let lo, p = Varint.read buf ~pos:p in
                         let hi, _ = Varint.read buf ~pos:p in
-                        (lo, hi)
+                        (seq, lo, hi)
                       with
-                      | lo, hi -> (
-                        try ignore (put_elide t pyr ~lo ~hi)
-                        with Out_of_space ->
-                          Pyramid.elide_range pyr ~seq:(Seqno.next t.seqno) ~lo ~hi)
+                      | seq, lo, hi ->
+                        (try Pyramid.elide_range pyr ~seq ~lo ~hi
+                         with Invalid_argument _ -> ());
+                        let tag = Bytes.get buf 1 in
+                        (try
+                           log_elide t tag ~seq ~lo ~hi;
+                           stash_elide t tag ~seq ~lo ~hi
+                         with Out_of_space -> ())
                       | exception Invalid_argument _ -> ())
                 in
                 List.iter
@@ -326,13 +486,27 @@ let recover ?(mode = Frontier_scan) t k =
                            with Out_of_space -> ());
                           t.last_applied_intent <- r.Nvram.seq
                         | exception Invalid_argument _ -> ())
-                      | 'F' -> replay_meta payload
-                      | 'E' -> replay_elide payload
+                      (* metadata stashes below the checkpoint watermark are
+                         already in the patches (or deliberately compacted
+                         away); re-putting them with a fresh seq would shadow
+                         newer state *)
+                      | 'F' when Int64.compare r.Nvram.seq t.checkpoint_seq > 0 ->
+                        replay_meta payload
+                      | 'E' when Int64.compare r.Nvram.seq t.checkpoint_seq > 0 ->
+                        replay_elide payload
                       | _ -> ())
                   records;
                 (* derived state again: replayed intents may have grown things *)
                 rebuild_derived t ~medium_next_hint:bb.bb_medium_next;
-                finish ~cold:false ~headers ~segments:(List.length segs)
+                finish ~cold:false ~headers ~segments:(List.length !trusted)
                   ~log_records:!log_records ~nvram_records:n ~ckpt_bytes:!ckpt_bytes
               in
-              replay_logs with_logs)))
+              trust_rounds segs (fun torn ->
+                  (* Torn segments are simply dropped: their AUs return to
+                     the pool via erase-before-reuse, acked writes they
+                     held are still covered by NVRAM intents (the trim
+                     only runs at flush completion), and relocated data
+                     still has its source segment (released only after a
+                     covering checkpoint). *)
+                  ignore torn;
+                  after_logs ()))))

@@ -76,9 +76,24 @@ let run t k =
     let released = ref [] in
     let rec go = function
       | [] ->
+        if not t.online then ()
+          (* crash landed between relocation steps; abandon the pass *)
+        else begin
         seal_current t;
         when_flushed t (fun () ->
-            List.iter (Gc.release_segment t) !released;
+            (* Destroying a victim also destroys its header log records,
+               which may hold the only durable copy of metadata facts
+               whose NVRAM records were already trimmed. As in GC, a
+               checkpoint must cover them before the segment goes away. *)
+            let release k =
+              if !released = [] then k ()
+              else
+                Checkpoint.run t (fun _ckpt ->
+                    List.iter (Gc.release_segment t) !released;
+                    maybe_persist_boot t;
+                    k ())
+            in
+            release (fun () ->
             let duration_us = Clock.now t.clock -. start in
             Registry.incr c_passes;
             Registry.add c_checked !checked;
@@ -100,7 +115,8 @@ let run t k =
                 corrupt_members = !corrupt;
                 segments_relocated = List.length !released;
                 duration_us;
-              })
+              }))
+        end
       | seg_id :: rest ->
         Gc.relocate_segment t ~live:(Lazy.force live) ~content_cache ~counters seg_id
           (fun ok ->

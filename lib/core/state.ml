@@ -182,6 +182,12 @@ type t = {
       (* last checkpoint's patch directory: pyramid name, encoded elide
          ranges (empty for tombstone tables), chunks as (compact segment
          meta, payload off, len) *)
+  mutable checkpoint_seq : int64;
+      (* seq watermark of the last completed checkpoint: every fact with a
+         sequence number at or below it is covered by the patches, and its
+         tombstone (if any) may have been dropped by the checkpoint's full
+         compaction — so recovery must never replay log records this old,
+         or compacted-away deletions would resurrect *)
   mutable medium_next_id : int;
   mutable boot_generation_written : int;
   dedup : Dedup.t;
@@ -276,6 +282,7 @@ let create_over ~config ~clock ~shelf ~boot () =
     flush_queue = Queue.create ();
     flush_active = false;
     checkpoint_dir = [];
+    checkpoint_seq = 0L;
     medium_next_id = 1;
     boot_generation_written = 0;
     dedup = Dedup.create ~config:config.dedup_config ();
@@ -313,6 +320,28 @@ let create ?(config = default_config) ~clock () =
   create_over ~config ~clock ~shelf ~boot ()
 
 let nvram t = Shelf.nvram t.shelf
+
+(* Metadata of the volume/medium tables is additionally committed to
+   NVRAM (fire-and-forget: the model's log state mutates at call time), so
+   namespace operations survive a crash even when their segio log records
+   were still in RAM. Block facts don't need this: the write intent that
+   produced them is already in NVRAM. Segment-table facts are backed too,
+   but for a different reason — the 'S' fact written at flush completion
+   is the segment's commit record, and recovery refuses to replay log
+   records out of a segment with no surviving proof of commit (a torn
+   flush can leave the log region readable while data rows are gone). *)
+let nvram_backed tag = tag = 'M' || tag = 'V' || tag = 'S'
+
+let stash_fact t tag fact =
+  if nvram_backed tag then begin
+    let buf = Buffer.create 64 in
+    Buffer.add_char buf 'F';
+    Buffer.add_char buf tag;
+    Fact.encode buf fact;
+    Nvram.commit (nvram t)
+      { Nvram.seq = fact.Fact.seq; payload = Buffer.contents buf }
+      (fun _ -> ())
+  end
 let online_drive t d = Drive.is_online (Shelf.drive t.shelf d)
 
 (* ---------- fact logging: every metadata mutation is also a log record
@@ -455,13 +484,19 @@ and pump_flush t =
         Span.finish flush_span;
         Hashtbl.replace t.segment_metas seg.Segment.id seg;
         Hashtbl.remove t.unflushed seg.Segment.id;
-        (* the segment table fact describes the sealed segment *)
+        (* The segment table fact describes the sealed segment; it doubles
+           as the commit record, so it is stashed in NVRAM as well — until
+           a later flushed segio carries the log copy, the stash is the
+           only proof that this segment's contents may be trusted. *)
         let seq = Seqno.next t.seqno in
+        let fact =
+          Fact.make ~key:(Keys.segment_key seg.Segment.id)
+            ~value:(Segment.encode_compact seg) ~seq
+        in
         Pyramid.insert t.segments_pyr ~seq ~key:(Keys.segment_key seg.Segment.id)
           ~value:(Segment.encode_compact seg);
-        log_fact t 'S'
-          (Fact.make ~key:(Keys.segment_key seg.Segment.id)
-             ~value:(Segment.encode_compact seg) ~seq);
+        log_fact t 'S' fact;
+        stash_fact t 'S' fact;
         (* in-order NVRAM trim *)
         Hashtbl.replace t.flushed seg.Segment.id ();
         let continue = ref true in
@@ -522,24 +557,6 @@ let log_elide t tag ~seq ~lo ~hi =
   Varint.write buf lo;
   Varint.write buf hi;
   append_log_record t ~seq (Buffer.contents buf)
-
-(* Metadata of the volume/medium tables is additionally committed to
-   NVRAM (fire-and-forget: the model's log state mutates at call time), so
-   namespace operations survive a crash even when their segio log records
-   were still in RAM. Block facts don't need this: the write intent that
-   produced them is already in NVRAM. *)
-let nvram_backed tag = tag = 'M' || tag = 'V'
-
-let stash_fact t tag fact =
-  if nvram_backed tag then begin
-    let buf = Buffer.create 64 in
-    Buffer.add_char buf 'F';
-    Buffer.add_char buf tag;
-    Fact.encode buf fact;
-    Nvram.commit (nvram t)
-      { Nvram.seq = fact.Fact.seq; payload = Buffer.contents buf }
-      (fun _ -> ())
-  end
 
 let stash_elide t tag ~seq ~lo ~hi =
   if nvram_backed tag then begin
@@ -636,6 +653,7 @@ let encode_boot t =
   Varint.write buf t.next_segment_id;
   Varint.write buf t.medium_next_id;
   Varint.write_i64 buf (Seqno.current t.seqno);
+  Varint.write_i64 buf t.checkpoint_seq;
   Varint.write buf (List.length t.checkpoint_dir);
   List.iter
     (fun (name, ranges, chunks) ->
@@ -659,6 +677,7 @@ type boot_blob = {
   bb_next_segment : int;
   bb_medium_next : int;
   bb_seq : int64;
+  bb_ckpt_seq : int64;
   bb_dir : (string * string * (string * int * int) list) list;
 }
 
@@ -671,6 +690,7 @@ let decode_boot s =
   let next_segment, p = Varint.read buf ~pos:p in
   let medium_next, p = Varint.read buf ~pos:p in
   let seq, p = Varint.read_i64 buf ~pos:p in
+  let ckpt_seq, p = Varint.read_i64 buf ~pos:p in
   let ndirs, p = Varint.read buf ~pos:p in
   let pos = ref p in
   let read_str () =
@@ -700,6 +720,7 @@ let decode_boot s =
     bb_next_segment = next_segment;
     bb_medium_next = medium_next;
     bb_seq = seq;
+    bb_ckpt_seq = ckpt_seq;
     bb_dir = dir;
   }
 

@@ -31,6 +31,10 @@ type t = {
   rs : Rs.t;
   read_around_write : bool;
   p95_backup : bool;
+  mutable fault : (drive:int -> bool) option;
+      (* purity.check injection point: drives the predicate marks behave
+         as failed for shard reads (direct and peer), forcing the
+         degraded/reconstruction paths *)
   mutable stats : stats;
   latencies : Histogram.t;
   direct_latencies : Histogram.t; (* feeds the p95 hedge threshold *)
@@ -43,6 +47,7 @@ let create ~layout ~shelf ~rs ?(read_around_write = true) ?(p95_backup = false) 
     rs;
     read_around_write;
     p95_backup;
+    fault = None;
     stats = zero_stats;
     latencies = Histogram.create ();
     direct_latencies = Histogram.create ();
@@ -51,6 +56,10 @@ let create ~layout ~shelf ~rs ?(read_around_write = true) ?(p95_backup = false) 
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
 let read_latencies t = t.latencies
+let set_fault t f = t.fault <- f
+
+let faulted t ~drive =
+  match t.fault with Some f -> f ~drive | None -> false
 
 let register_telemetry t reg =
   let module R = Purity_telemetry.Registry in
@@ -72,6 +81,17 @@ let drive_of t seg column =
   let m = (seg.Segment.members).(column) in
   (Shelf.drive t.shelf m.Segment.drive, m.Segment.au)
 
+(* A shard read is only meaningful if the member AU actually holds the
+   range: a freshly replaced drive (or an AU torn by a crashed flush)
+   reads as zeros, which must count as a missing shard — serving it
+   directly, or feeding it to Reed-Solomon as a peer, would fabricate
+   wrong bytes instead of degrading to reconstruction. *)
+let shard_holds t seg column ~au_offset ~len =
+  let drive, au = drive_of t seg column in
+  Drive.au_fill drive ~au >= au_offset + len
+
+let member_drive seg column = (seg.Segment.members).(column).Segment.drive
+
 (* Rebuild the chunk at (row, within, len) for data column [target] from
    sibling shards. Reed-Solomon is elementwise over byte positions, so the
    sub-range of each write unit decodes independently. *)
@@ -81,15 +101,25 @@ let reconstruct_chunk t seg ~row ~within ~len ~target k =
   (* Candidate peers: online siblings, idle drives first. *)
   let peers =
     let all = List.filter (fun c -> c <> target) (List.init nm Fun.id) in
-    let online =
-      List.filter (fun c -> Drive.is_online (fst (drive_of t seg c))) all
+    let usable =
+      List.filter
+        (fun c ->
+          Drive.is_online (fst (drive_of t seg c))
+          && (not (faulted t ~drive:(member_drive seg c)))
+          &&
+          let loc = Layout.row_chunk t.layout ~row ~within ~len ~column:c in
+          shard_holds t seg c ~au_offset:loc.Layout.au_offset ~len)
+        all
     in
-    let idle, busy = List.partition (fun c -> not (Drive.busy_writing (fst (drive_of t seg c)))) online in
+    let idle, busy = List.partition (fun c -> not (Drive.busy_writing (fst (drive_of t seg c)))) usable in
     idle @ busy
   in
-  if List.length peers < needed then k None
+  if List.length peers < needed then begin
+    k None
+  end
   else begin
     let chosen = List.filteri (fun i _ -> i < needed) peers in
+    let spares = ref (List.filteri (fun i _ -> i >= needed) peers) in
     let shards = Array.make nm None in
     let pending = ref (List.length chosen) in
     let failed = ref false in
@@ -100,18 +130,27 @@ let reconstruct_chunk t seg ~row ~within ~len ~target k =
         | shard -> k (Some shard)
         | exception Invalid_argument _ -> k None
     in
-    List.iter
-      (fun c ->
-        let drive, au = drive_of t seg c in
-        let loc = Layout.row_chunk t.layout ~row ~within ~len ~column:c in
-        t.stats <- { t.stats with peer_reads = t.stats.peer_reads + 1 };
-        Drive.read drive ~au ~off:loc.Layout.au_offset ~len (fun result ->
-            (match result with
-            | Ok data -> shards.(c) <- Some data
-            | Error _ -> failed := true);
-            decr pending;
-            if !pending = 0 then finish ()))
-      chosen
+    (* A peer read can itself fail (a latently corrupt page discovered on
+       the way): fall back to an unused sibling rather than giving up —
+       the row is recoverable as long as any k shards are good. *)
+    let rec issue c =
+      let drive, au = drive_of t seg c in
+      let loc = Layout.row_chunk t.layout ~row ~within ~len ~column:c in
+      t.stats <- { t.stats with peer_reads = t.stats.peer_reads + 1 };
+      Drive.read drive ~au ~off:loc.Layout.au_offset ~len (fun result ->
+          (match result with
+          | Ok data -> shards.(c) <- Some data
+          | Error _ -> (
+            match !spares with
+            | s :: rest ->
+              spares := rest;
+              incr pending;
+              issue s
+            | [] -> failed := true));
+          decr pending;
+          if !pending = 0 then finish ())
+    in
+    List.iter issue chosen
   end
 
 (* Serve one chunk (entirely inside one write unit). *)
@@ -133,16 +172,21 @@ let read_chunk t seg (loc : Layout.location) k =
     t.stats <- { t.stats with failures = t.stats.failures + 1 };
     k (Error `Unrecoverable)
   in
+  let missing =
+    faulted t ~drive:(member_drive seg column)
+    || not (shard_holds t seg column ~au_offset:loc.Layout.au_offset ~len)
+  in
   let avoid_busy =
     t.read_around_write && Drive.is_online drive && Drive.busy_writing drive
   in
-  if (not (Drive.is_online drive)) || avoid_busy then
-    (* Offline, or writing: rebuild from siblings; if that is impossible
-       and the drive is merely busy, wait it out with a direct read. *)
+  if (not (Drive.is_online drive)) || missing || avoid_busy then
+    (* Offline, missing/injected-faulty shard, or writing: rebuild from
+       siblings; if that is impossible and the drive is merely busy, wait
+       it out with a direct read. *)
     reconstruct `Primary (function
       | Some data -> k (Ok data)
       | None ->
-        if Drive.is_online drive then begin
+        if Drive.is_online drive && not missing then begin
           t.stats <- { t.stats with direct_reads = t.stats.direct_reads + 1 };
           Drive.read drive ~au ~off:loc.Layout.au_offset ~len (function
             | Ok data -> k (Ok data)

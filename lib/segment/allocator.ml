@@ -220,6 +220,14 @@ let restore_persisted t s =
   t.frontier <- [ fresh ];
   t.speculative <- []
 
+(* Recovery: a rediscovered segment's log records are not covered by any
+   checkpoint, so its members must stay in the persisted scan set (and so
+   survive the next boot-region rewrite) until a checkpoint_mark drops
+   them. Appended, not prepended: these are the oldest allocations, and
+   checkpoint_mark keeps the newest [keep] entries. *)
+let requeue_scan t members =
+  t.allocated_since_mark <- dedupe (t.allocated_since_mark @ Array.to_list members)
+
 let allocated_count t = List.length t.allocated_since_mark
 
 let checkpoint_mark t ~keep ~extra =

@@ -44,6 +44,11 @@ val release : t -> Segment.member array -> unit
 val mark_used : t -> Segment.member array -> unit
 (** Recovery: record that these AUs hold a live segment. *)
 
+val requeue_scan : t -> Segment.member array -> unit
+(** Recovery: keep a rediscovered segment's members in the persisted scan
+    set until the next {!checkpoint_mark} — its log records are not yet
+    covered by any checkpoint, so a later failover must still scan it. *)
+
 val free_au_count : t -> int
 val used_au_count : t -> int
 

@@ -1,7 +1,7 @@
 module Shelf = Purity_ssd.Shelf
 module Drive = Purity_ssd.Drive
 
-let scan_slots ~layout ~shelf slots k =
+let scan_slots ~layout ~shelf ?claims slots k =
   let found : (int, Segment.t) Hashtbl.t = Hashtbl.create 64 in
   let pending = ref 0 in
   let finish () =
@@ -17,7 +17,14 @@ let scan_slots ~layout ~shelf slots k =
           (match result with
           | Ok page -> (
             match Segment.decode_header page with
-            | Some seg -> if not (Hashtbl.mem found seg.Segment.id) then Hashtbl.replace found seg.Segment.id seg
+            | Some seg ->
+              (* record which physical AU presented this header: an AU can
+                 be reused by a newer segment while stale siblings keep the
+                 old id, so a member list alone does not prove ownership *)
+              (match claims with
+              | Some c -> Hashtbl.replace c (m.Segment.drive, m.Segment.au) seg.Segment.id
+              | None -> ());
+              if not (Hashtbl.mem found seg.Segment.id) then Hashtbl.replace found seg.Segment.id seg
             | None -> ())
           | Error _ -> ());
           decr pending;
@@ -27,7 +34,7 @@ let scan_slots ~layout ~shelf slots k =
   List.iter launch slots;
   if !pending = 0 then finish ()
 
-let scan_all ~layout ~shelf k =
+let scan_all ~layout ~shelf ?claims k =
   let slots = ref [] in
   Array.iter
     (fun d ->
@@ -38,6 +45,7 @@ let scan_all ~layout ~shelf k =
         done
       end)
     (Shelf.drives shelf);
-  scan_slots ~layout ~shelf !slots k
+  scan_slots ~layout ~shelf ?claims !slots k
 
-let scan_members ~layout ~shelf members k = scan_slots ~layout ~shelf members k
+let scan_members ~layout ~shelf ?claims members k =
+  scan_slots ~layout ~shelf ?claims members k

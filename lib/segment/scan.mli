@@ -16,12 +16,22 @@
     simulated time the last header read finishes, so the two scans'
     completion times are directly comparable (experiment E3). *)
 
-val scan_all : layout:Layout.t -> shelf:Purity_ssd.Shelf.t -> (Segment.t list -> unit) -> unit
-(** Callback receives all discovered segments, ordered by id. *)
+val scan_all :
+  layout:Layout.t ->
+  shelf:Purity_ssd.Shelf.t ->
+  ?claims:(int * int, int) Hashtbl.t ->
+  (Segment.t list -> unit) ->
+  unit
+(** Callback receives all discovered segments, ordered by id. When
+    [claims] is given, it is filled with [(drive, au) -> segment id] for
+    every AU whose on-disk header decoded — the proof of which segment
+    each physical AU currently belongs to (an AU can be reused by a newer
+    segment while the old segment's other members still carry its id). *)
 
 val scan_members :
   layout:Layout.t ->
   shelf:Purity_ssd.Shelf.t ->
+  ?claims:(int * int, int) Hashtbl.t ->
   Segment.member list ->
   (Segment.t list -> unit) ->
   unit

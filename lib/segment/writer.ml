@@ -228,6 +228,13 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) ?tracer ?par
       | (off, data) :: rest ->
         let m = t.members.(i) in
         let drive = Shelf.drive t.shelf m.Segment.drive in
+        if Drive.au_fill drive ~au:m.Segment.au <> off then
+          (* the device was swapped for a blank one (drive replacement)
+             mid-shard: its append pointer no longer matches, so the
+             chunks already written are gone — restart the shard on a
+             fresh AU, exactly as for a mid-flush drive death *)
+          try_remap i
+        else
         Drive.write_chunk drive ~au:m.Segment.au ~off ~data (function
           | Ok () -> run_member i rest
           | Error _ ->

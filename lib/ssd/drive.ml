@@ -61,6 +61,7 @@ type t = {
   clock : Clock.t;
   drive_id : int;
   salt : int64; (* per-drive hash salt for deterministic corruption draws *)
+  injected : (int * int, unit) Hashtbl.t; (* (au, page) forced-corrupt marks *)
   contents : (int, Bytes.t) Hashtbl.t; (* au -> data, allocated lazily *)
   fill : int array; (* append pointer per AU *)
   pe : int array; (* P/E cycles per AU *)
@@ -78,6 +79,7 @@ let create ?(config = default_config) ~clock ~rng ~id () =
     clock;
     drive_id = id;
     salt = Rng.next_int64 rng;
+    injected = Hashtbl.create 4;
     contents = Hashtbl.create 64;
     fill = Array.make config.num_aus 0;
     pe = Array.make config.num_aus 0;
@@ -96,6 +98,7 @@ let restore t = t.online <- true
 
 let replace t =
   Hashtbl.reset t.contents;
+  Hashtbl.reset t.injected;
   Array.fill t.fill 0 t.cfg.num_aus 0;
   Array.fill t.pe 0 t.cfg.num_aus 0;
   Array.fill t.written_at 0 t.cfg.num_aus 0.0;
@@ -108,6 +111,19 @@ let busy_writing t = Clock.now t.clock < t.write_busy_until
 let wear_to t ~pe = Array.fill t.pe 0 t.cfg.num_aus pe
 let stats t = t.stats
 let reset_stats t = t.stats <- zero_stats
+
+(* Fault injection: mark one page as latently corrupt, as though its
+   charge leaked. The mark behaves exactly like age-induced retention
+   loss — reads surface [`Corrupt], vertical parity may repair it, and an
+   erase (trim/replace) clears it — so scrub and RS repair paths see the
+   same physics either way. *)
+let inject_page_corruption t ~au ~page =
+  if au < 0 || au >= t.cfg.num_aus then invalid_arg "Drive.inject_page_corruption: bad au";
+  if page < 0 || page * t.cfg.page_size >= t.cfg.au_size then
+    invalid_arg "Drive.inject_page_corruption: bad page";
+  Hashtbl.replace t.injected (au, page) ()
+
+let injected_corrupt_pages t = Hashtbl.length t.injected
 
 (* Wear summary across the drive's AUs. *)
 let pe_max t = Array.fold_left max 0 t.pe
@@ -126,6 +142,7 @@ let register_telemetry t reg =
   R.derive_int reg (p "trims") (fun () -> t.stats.trims);
   R.derive_int reg (p "corrupt_reads") (fun () -> t.stats.corrupt_reads);
   R.derive_int reg (p "program_stalls") (fun () -> t.stats.program_stalls);
+  R.derive_int reg (p "injected_corrupt_pages") (fun () -> injected_corrupt_pages t);
   R.derive_int reg (p "pe_max") (fun () -> pe_max t);
   R.derive_float reg (p "pe_mean") (fun () -> pe_mean t);
   R.derive_float reg (p "wear_ratio") (fun () ->
@@ -154,6 +171,8 @@ let die_of_page t ~au ~page = (au + page) mod t.cfg.dies
    effectively immortal, matching the paper's observation that typical
    customers never approach P/E limits. *)
 let page_corrupt t ~au ~page =
+  if Hashtbl.mem t.injected (au, page) then true
+  else
   let pe = t.pe.(au) in
   let ratio = float_of_int pe /. float_of_int t.cfg.pe_rating in
   if ratio < 0.8 then false
@@ -301,6 +320,9 @@ let read t ~au ~off ~len k =
 let trim_au t ~au =
   if au < 0 || au >= t.cfg.num_aus then invalid_arg "Drive.trim_au: bad au";
   Hashtbl.remove t.contents au;
+  Hashtbl.iter
+    (fun ((a, _) as key) () -> if a = au then Hashtbl.remove t.injected key)
+    (Hashtbl.copy t.injected);
   t.fill.(au) <- 0;
   t.pe.(au) <- t.pe.(au) + 1;
   t.stats <- { t.stats with trims = t.stats.trims + 1 };

@@ -96,11 +96,20 @@ val busy_writing : t -> bool
 (** True while any die is executing a program or erase — the scheduler
     treats such drives "as though they have failed" (paper §4.4). *)
 
-(** {1 Wear injection & statistics} *)
+(** {1 Wear & fault injection, statistics} *)
 
 val wear_to : t -> pe:int -> unit
 (** Set every AU's P/E count (building the "worn-out flash" array of
     paper §5.1 without simulating years of writes). *)
+
+val inject_page_corruption : t -> au:int -> page:int -> unit
+(** Mark one page as latently corrupt, exactly as if its charge had
+    leaked: reads of the page surface [`Corrupt] (unless vertical parity
+    repairs it), and an erase ({!trim_au} or {!replace}) clears the mark.
+    The deterministic hook behind [purity.check]'s corruption faults. *)
+
+val injected_corrupt_pages : t -> int
+(** Injected marks still present (not yet erased away). *)
 
 type stats = {
   reads : int;

@@ -10,10 +10,20 @@ type t = {
   log : record Queue.t;
   mutable used : int;
   mutable free_at : float;
+  mutable losses : int;
 }
 
 let create ?(latency_us = 15.0) ?(mb_s = 700.0) ?(capacity = 16 * 1024 * 1024) ~clock () =
-  { clock; latency_us; mb_s; cap = capacity; log = Queue.create (); used = 0; free_at = 0.0 }
+  {
+    clock;
+    latency_us;
+    mb_s;
+    cap = capacity;
+    log = Queue.create ();
+    used = 0;
+    free_at = 0.0;
+    losses = 0;
+  }
 
 let record_size r = String.length r.payload + 16
 
@@ -40,6 +50,15 @@ let trim_upto t seq =
     | _ -> continue := false
   done
 
+(* Fault injection: the device loses its contents (a dead SLC part).
+   The part itself keeps working — later commits land normally — so the
+   exposure window is exactly the records that were pending at the loss. *)
+let lose t =
+  Queue.clear t.log;
+  t.used <- 0;
+  t.losses <- t.losses + 1
+
+let losses t = t.losses
 let records t = List.of_seq (Queue.to_seq t.log)
 let used_bytes t = t.used
 let capacity t = t.cap

@@ -34,5 +34,13 @@ val trim_upto : t -> int64 -> unit
 val records : t -> record list
 (** Surviving records in append order — what recovery replays. *)
 
+val lose : t -> unit
+(** Fault injection: drop every pending record (NVRAM content loss). The
+    device keeps accepting commits afterwards, so only writes acked before
+    the loss and not yet durable in flushed segments are exposed. *)
+
+val losses : t -> int
+(** How many times {!lose} has fired on this device. *)
+
 val used_bytes : t -> int
 val capacity : t -> int

@@ -99,6 +99,12 @@ let bytes t len =
   fill_bytes t buf ~pos:0 ~len;
   buf
 
+let with_seed_report ~seed f =
+  try f (create ~seed)
+  with exn ->
+    Printf.eprintf "  [rng] failing seed: %LdL — rerun with this seed to reproduce\n%!" seed;
+    raise exn
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

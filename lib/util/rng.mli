@@ -47,3 +47,9 @@ val fill_bytes : t -> bytes -> pos:int -> len:int -> unit
 
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher–Yates shuffle. *)
+
+val with_seed_report : seed:int64 -> (t -> 'a) -> 'a
+(** [with_seed_report ~seed f] runs [f] with a fresh generator seeded by
+    [seed].  If [f] raises (a failing assertion, say), the seed is printed
+    to stderr before the exception propagates — so a failing randomized
+    test always tells you how to reproduce it. *)

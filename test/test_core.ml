@@ -663,7 +663,7 @@ let prop_array_matches_model =
     (fun seed ->
       let clock, a = make_array () in
       (match Fa.create_volume a "v" ~blocks:1024 with Ok () -> () | Error _ -> assert false);
-      let rng = Rng.create ~seed:(Int64.of_int (seed + 77)) in
+      Rng.with_seed_report ~seed:(Int64.of_int (seed + 77)) @@ fun rng ->
       let model = Bytes.make (1024 * bs) '\000' in
       let okay = ref true in
       for step = 1 to 60 do

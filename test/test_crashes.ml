@@ -1,166 +1,373 @@
-(* Whole-system fault injection: random operation schedules with crashes,
-   drive pulls, GC, checkpoints and scrubs injected at random points. The
-   audited invariant is the array's durability contract: every
-   acknowledged write (that was not later overwritten) reads back intact,
-   and no read ever returns wrong bytes.
+(* Whole-system fault injection, on top of purity.check.
 
-   Each scenario is deterministic per seed; failures print the seed. *)
+   Random scenarios come from [Plan.generate] and are executed by
+   [Runner.run_plan] against the reference model; directed scenarios are
+   hand-written event lists covering the multi-fault orderings the RAID
+   literature calls out: a crash landing mid-GC, a second drive dropping
+   out during a rebuild, NVRAM content loss just before (and just
+   without) a checkpoint barrier, and latent corruption discovered while
+   reading degraded. A lineage property sweep exercises snapshot / clone /
+   resize ancestry under crashes, including a resize racing a checkpoint.
 
-module Clock = Purity_sim.Clock
+   Every scenario is deterministic per seed; failures print the seed and
+   a shrunk reproducing trace. *)
+
 module Fa = Purity_core.Flash_array
+module Clock = Purity_sim.Clock
 module Rng = Purity_util.Rng
+module Plan = Purity_check.Plan
+module Runner = Purity_check.Runner
 
 let check = Alcotest.check
 let bool = Alcotest.bool
 
-let config =
-  {
-    Fa.default_config with
-    Fa.drives = 7;
-    k = 3;
-    m = 2;
-    write_unit = 8 * 1024;
-    drive_config =
-      {
-        Purity_ssd.Drive.default_config with
-        Purity_ssd.Drive.au_size = 4096 + (8 * 8192);
-        num_aus = 512;
-        dies = 4;
-      };
-    memtable_flush = 1_000_000;
-  }
-
-let vol_blocks = 2048
-let io_blocks = 16
-
-(* The model: what each block-slot must read as. *)
-type model = { slots : string option array }
-
-let scenario ~seed ~ops ~crashes =
-  let clock = Clock.create () in
-  let a = Fa.create ~config ~clock () in
-  let rng = Rng.create ~seed in
-  let data_rng = Rng.split rng in
-  (match Fa.create_volume a "v" ~blocks:vol_blocks with
+(* Run a hand-built plan; on violation, shrink and fail with the full
+   report so the trace lands in the test output. *)
+let expect_clean ?config (plan : Plan.t) =
+  match Runner.run_plan ?config plan with
   | Ok () -> ()
-  | Error _ -> Alcotest.fail "create");
-  let model = { slots = Array.make (vol_blocks / io_blocks) None } in
-  let await f =
-    let r = ref None in
-    f (fun x -> r := Some x);
-    Clock.run clock;
-    Option.get !r
+  | Error failure ->
+    let fails evs =
+      match Runner.run_plan ?config { plan with Plan.events = evs } with
+      | Ok () -> None
+      | Error f -> Some f
+    in
+    let trace, (step, violation) =
+      Runner.shrink ~fails plan.Plan.events failure
+    in
+    Alcotest.failf "%s"
+      (Runner.report_to_string
+         {
+           Runner.seed = plan.Plan.seed;
+           step;
+           violation;
+           trace;
+           original_events = List.length plan.Plan.events;
+         })
+
+let run_seed ?gen seed () =
+  match Runner.check_seed ?gen seed with
+  | Ok () -> ()
+  | Error r -> Alcotest.failf "%s" (Runner.report_to_string r)
+
+(* ---------- directed multi-fault orderings ---------- *)
+
+let v name blocks = Plan.Op (Plan.Create_volume { name; blocks })
+let w ?(view = "v0") ~wid block nblocks = Plan.Op (Plan.Write { view; block; nblocks; wid })
+let r ?(view = "v0") block nblocks = Plan.Op (Plan.Read { view; block; nblocks })
+
+(* Crash arriving in the middle of a GC pass: relocation half done, the
+   covering checkpoint possibly unfinished — no victim may have been
+   released without it. *)
+let test_crash_during_gc () =
+  let overwrite_rounds wid0 =
+    List.concat_map
+      (fun round -> List.init 6 (fun i -> w ~wid:(wid0 + (round * 6) + i) (i * 16) 16))
+      [ 0; 1; 2 ]
   in
-  let pulled = ref [] in
-  let crashes_left = ref crashes in
-  let audit_slot slot =
-    let block = slot * io_blocks in
-    match await (Fa.read a ~volume:"v" ~block ~nblocks:io_blocks) with
-    | Ok got -> (
-      match model.slots.(slot) with
-      | Some expect ->
-        if got <> expect then
-          Alcotest.failf "seed %Ld: slot %d corrupted after history" seed slot
-      | None ->
-        if got <> String.make (io_blocks * 512) '\000' then
-          Alcotest.failf "seed %Ld: unwritten slot %d non-zero" seed slot)
-    | Error _ -> Alcotest.failf "seed %Ld: slot %d unreadable" seed slot
+  expect_clean
+    {
+      Plan.seed = 0x6C01L;
+      events =
+        [ v "v0" 512 ]
+        @ overwrite_rounds 1
+        @ [ Plan.Op Plan.Flush ]
+        @ overwrite_rounds 20
+        @ [
+            Plan.Timed { delay_us = 500.0; fault = Plan.Crash Plan.Fast };
+            Plan.Op Plan.Gc;
+            w ~wid:90 64 16;
+            Plan.Timed { delay_us = 900.0; fault = Plan.Crash Plan.Full };
+            Plan.Op Plan.Gc;
+            r 0 16;
+          ];
+    }
+
+(* A second drive is pulled while a replaced drive is still rebuilding:
+   reads run at the full m=2 degradation until the rebuild completes. *)
+let test_pull_during_rebuild () =
+  expect_clean
+    {
+      Plan.seed = 0xB41DL;
+      events =
+        [ v "v0" 512 ]
+        @ List.init 8 (fun i -> w ~wid:(i + 1) (i * 32) 32)
+        @ [
+            Plan.Op Plan.Flush;
+            Plan.Fault (Plan.Replace_drive 2);
+            Plan.Timed { delay_us = 800.0; fault = Plan.Pull_drive 5 };
+            Plan.Op (Plan.Rebuild 2);
+            r 0 16;
+            r 240 16;
+            Plan.Fault (Plan.Reinsert_drive 5);
+            Plan.Fault (Plan.Crash Plan.Fast);
+          ];
+    }
+
+(* NVRAM content loss: writes acked before the loss whose data had not
+   reached flushed segments may revert on the next crash — unless a
+   checkpoint barrier lands in between, which makes them durable. *)
+let test_nvram_loss_before_checkpoint () =
+  expect_clean
+    {
+      Plan.seed = 0x4EAL;
+      events =
+        [ v "v0" 512 ]
+        @ List.init 6 (fun i -> w ~wid:(i + 1) (i * 16) 16)
+        @ [
+            Plan.Fault Plan.Lose_nvram;
+            w ~wid:10 0 16;
+            w ~wid:11 256 16;
+            (* barrier: everything above survives the crash below *)
+            Plan.Op Plan.Checkpoint;
+            w ~wid:12 128 16;
+            Plan.Fault (Plan.Crash Plan.Fast);
+            r 0 16;
+            r 256 16;
+          ];
+    }
+
+let test_nvram_loss_without_barrier () =
+  (* same shape, no checkpoint: the model must accept either outcome for
+     the post-loss writes once the crash lands *)
+  expect_clean
+    {
+      Plan.seed = 0x4EBL;
+      events =
+        [ v "v0" 512 ]
+        @ List.init 6 (fun i -> w ~wid:(i + 1) (i * 16) 16)
+        @ [
+            Plan.Op Plan.Flush;
+            Plan.Fault Plan.Lose_nvram;
+            w ~wid:10 0 16;
+            w ~wid:11 256 16;
+            Plan.Fault (Plan.Crash Plan.Full);
+            r 0 16;
+            r 256 16;
+            Plan.Fault (Plan.Crash Plan.Fast);
+            r 0 16;
+          ];
+    }
+
+(* Latent corruption discovered while reading degraded: one drive is
+   pulled, a page on a surviving drive is corrupted, and reads must
+   reconstruct around both before a scrub repairs the damage. *)
+let test_corruption_during_degraded_read () =
+  expect_clean
+    {
+      Plan.seed = 0xC0DEL;
+      events =
+        [ v "v0" 512 ]
+        @ List.init 8 (fun i -> w ~wid:(i + 1) (i * 32) 32)
+        @ [
+            Plan.Op Plan.Flush;
+            Plan.Fault (Plan.Pull_drive 1);
+            Plan.Fault (Plan.Corrupt_page { drive = 4; au_rank = 3; page_rank = 7 });
+            r 0 16;
+            r 96 16;
+            r 224 16;
+            Plan.Op Plan.Scrub;
+            Plan.Fault (Plan.Reinsert_drive 1);
+            Plan.Fault (Plan.Crash Plan.Fast);
+            r 0 16;
+          ];
+    }
+
+(* ---------- snapshot / clone / resize lineage ---------- *)
+
+(* Snapshots must stay frozen across overwrites of their parent, clones
+   must diverge independently, and all three views must agree with the
+   model after crashes. *)
+let test_snapshot_clone_lineage_under_crash () =
+  expect_clean
+    {
+      Plan.seed = 0x11AEL;
+      events =
+        [ v "v0" 256 ]
+        @ List.init 4 (fun i -> w ~wid:(i + 1) (i * 64) 64)
+        @ [
+            Plan.Op (Plan.Snapshot { volume = "v0"; snap = "s0" });
+            w ~wid:10 0 64;
+            (* clone sees the snapshot image, not the new write *)
+            Plan.Op (Plan.Clone { snapshot = "s0"; volume = "v1" });
+            w ~view:"v1" ~wid:11 64 64;
+            Plan.Fault (Plan.Crash Plan.Fast);
+            r ~view:"s0" 0 16;
+            r ~view:"v0" 0 16;
+            r ~view:"v1" 64 16;
+            Plan.Op Plan.Checkpoint;
+            Plan.Fault Plan.Lose_nvram;
+            Plan.Fault (Plan.Crash Plan.Full);
+            r ~view:"s0" 0 16;
+            r ~view:"v1" 0 16;
+          ];
+    }
+
+(* The hard interleaving: a resize whose facts are in flight while a
+   crash lands mid-checkpoint. The extended tail must neither vanish
+   while the resize is durable nor resurrect stale pre-resize state. *)
+let test_resize_racing_checkpoint () =
+  expect_clean
+    {
+      Plan.seed = 0x5122L;
+      events =
+        [ v "v0" 256 ]
+        @ List.init 4 (fun i -> w ~wid:(i + 1) (i * 64) 64)
+        @ [
+            Plan.Op Plan.Checkpoint;
+            Plan.Op (Plan.Resize_volume { name = "v0"; blocks = 384 });
+            w ~wid:10 256 64;
+            w ~wid:11 320 64;
+            Plan.Timed { delay_us = 600.0; fault = Plan.Crash Plan.Full };
+            Plan.Op Plan.Checkpoint;
+            w ~wid:12 256 64;
+            Plan.Fault (Plan.Crash Plan.Fast);
+            r 256 16;
+            r 320 16;
+          ];
+    }
+
+(* Property sweep: randomized lineage-heavy plans (snapshot / clone /
+   resize / delete churn with crashes and barriers interleaved), the
+   runner's final audit checking every surviving view against the model. *)
+let lineage_plan seed =
+  let rng = Rng.create ~seed in
+  let rev = ref [] in
+  let emit e = rev := e :: !rev in
+  let wid = ref 0 in
+  let vols = ref [ ("v0", ref 256) ] in
+  let snaps = ref [] in
+  let vol_ctr = ref 1 and snap_ctr = ref 0 in
+  let pick xs = List.nth xs (Rng.int rng (List.length xs)) in
+  let write () =
+    let name, blocks = pick !vols in
+    incr wid;
+    let block = Rng.int rng (!blocks - 16 + 1) in
+    emit (Plan.Op (Plan.Write { view = name; block; nblocks = 16; wid = !wid }))
   in
-  for _step = 1 to ops do
+  emit (v "v0" 256);
+  write ();
+  write ();
+  for _ = 1 to 40 do
     match Rng.int rng 100 with
-    | n when n < 45 ->
-      (* write *)
-      let slot = Rng.int rng (Array.length model.slots) in
-      let data = Bytes.to_string (Rng.bytes data_rng (io_blocks * 512)) in
-      (match await (Fa.write a ~volume:"v" ~block:(slot * io_blocks) data) with
-      | Ok () -> model.slots.(slot) <- Some data
-      | Error `Backpressure -> () (* not acked: model unchanged *)
-      | Error _ -> Alcotest.failf "seed %Ld: write failed" seed)
-    | n when n < 75 ->
-      (* read + verify *)
-      audit_slot (Rng.int rng (Array.length model.slots))
-    | n when n < 82 && !crashes_left > 0 ->
-      crashes_left := !crashes_left - 1;
-      Fa.crash a;
-      ignore (await (fun k -> Fa.failover a k))
-    | n when n < 88 ->
-      (* pull or reinsert a drive, never exceeding m=2 concurrent pulls *)
-      if List.length !pulled < 2 then begin
-        let d = Rng.int rng config.Fa.drives in
-        if not (List.mem d !pulled) then begin
-          Fa.pull_drive a d;
-          pulled := d :: !pulled
-        end
-      end
-      else begin
-        match !pulled with
-        | d :: rest ->
-          Fa.reinsert_drive a d;
-          pulled := rest
-        | [] -> ()
-      end
-    | n when n < 93 ->
-      ignore (await (fun k -> Fa.gc ~min_dead_ratio:0.3 ~max_victims:8 a (fun r -> k r)))
-    | n when n < 97 -> ignore (await (fun k -> Fa.checkpoint a k))
-    | _ -> ignore (await (fun k -> Fa.flush a (fun () -> k ())))
+    | n when n < 30 -> write ()
+    | n when n < 42 ->
+      let all = List.map (fun (n, b) -> (n, !b)) !vols @ !snaps in
+      let name, blocks = pick all in
+      emit
+        (Plan.Op
+           (Plan.Read { view = name; block = Rng.int rng (blocks - 16 + 1); nblocks = 16 }))
+    | n when n < 54 && List.length !vols + List.length !snaps < 6 ->
+      let volume, blocks = pick !vols in
+      let snap = Printf.sprintf "s%d" !snap_ctr in
+      incr snap_ctr;
+      snaps := (snap, !blocks) :: !snaps;
+      emit (Plan.Op (Plan.Snapshot { volume; snap }))
+    | n when n < 62 && !snaps <> [] && List.length !vols + List.length !snaps < 6 ->
+      let snapshot, blocks = pick !snaps in
+      let volume = Printf.sprintf "v%d" !vol_ctr in
+      incr vol_ctr;
+      vols := (volume, ref blocks) :: !vols;
+      emit (Plan.Op (Plan.Clone { snapshot; volume }))
+    | n when n < 72 ->
+      let name, blocks = pick !vols in
+      blocks := !blocks + 64;
+      emit (Plan.Op (Plan.Resize_volume { name; blocks = !blocks }))
+    | n when n < 78 && !snaps <> [] ->
+      let s, _ = List.hd !snaps in
+      snaps := List.tl !snaps;
+      emit (Plan.Op (Plan.Delete_snapshot s))
+    | n when n < 86 -> (
+      match Rng.int rng 3 with
+      | 0 ->
+        (* resize-vs-checkpoint race under a timed crash *)
+        let name, blocks = pick !vols in
+        blocks := !blocks + 64;
+        emit (Plan.Op (Plan.Resize_volume { name; blocks = !blocks }));
+        emit
+          (Plan.Timed
+             { delay_us = 200.0 +. Rng.float rng 2000.0; fault = Plan.Crash Plan.Full });
+        emit (Plan.Op Plan.Checkpoint)
+      | 1 -> emit (Plan.Fault (Plan.Crash Plan.Fast))
+      | _ -> emit (Plan.Fault (Plan.Crash Plan.Full)))
+    | n when n < 92 -> emit (Plan.Op Plan.Checkpoint)
+    | n when n < 96 -> emit (Plan.Op Plan.Flush)
+    | _ ->
+      emit (Plan.Op Plan.Flush);
+      emit (Plan.Fault Plan.Lose_nvram)
   done;
-  (* final full audit *)
-  for slot = 0 to Array.length model.slots - 1 do
-    audit_slot slot
-  done;
-  (* and once more after a final failover *)
-  Fa.crash a;
-  ignore (await (fun k -> Fa.failover a k));
-  for slot = 0 to Array.length model.slots - 1 do
-    audit_slot slot
+  { Plan.seed; events = List.rev !rev }
+
+let test_lineage_property () =
+  for i = 1 to 12 do
+    expect_clean (lineage_plan (Int64.of_int (0x2000 + i)))
   done
 
-let test_seed seed () = scenario ~seed ~ops:120 ~crashes:3
+(* ---------- randomized full-mix scenarios ---------- *)
 
-let test_long_haul () =
-  (* a longer single run with heavier churn *)
-  scenario ~seed:424242L ~ops:400 ~crashes:6
+let test_long_haul () = run_seed ~gen:{ Plan.default_gen with Plan.steps = 220 } 424242L ()
+
+(* ---------- space reclamation (no model needed) ---------- *)
 
 let test_no_crash_heavy_gc () =
   (* overwrite churn with frequent GC: space must keep being reclaimed *)
+  let config = Runner.default_config in
+  let vol_blocks = 2048 in
+  let io_blocks = 16 in
   let clock = Clock.create () in
   let a = Fa.create ~config ~clock () in
-  let rng = Rng.create ~seed:77L in
-  (match Fa.create_volume a "v" ~blocks:vol_blocks with
-  | Ok () -> ()
-  | Error _ -> Alcotest.fail "create");
-  let await f =
-    let r = ref None in
-    f (fun x -> r := Some x);
-    Clock.run clock;
-    Option.get !r
-  in
-  for round = 1 to 12 do
-    for _ = 1 to 32 do
-      let slot = Rng.int rng (vol_blocks / io_blocks) in
-      let data = Bytes.to_string (Rng.bytes rng (io_blocks * 512)) in
-      ignore (await (Fa.write a ~volume:"v" ~block:(slot * io_blocks) data))
-    done;
-    if round mod 3 = 0 then
-      ignore (await (fun k -> Fa.gc ~min_dead_ratio:0.3 ~max_victims:16 a (fun r -> k r)))
-  done;
-  let s = Fa.stats a in
-  check bool "array not leaking space" true
-    (s.Fa.physical_bytes_used < s.Fa.physical_capacity / 2)
+  Rng.with_seed_report ~seed:77L (fun rng ->
+      (match Fa.create_volume a "v" ~blocks:vol_blocks with
+      | Ok () -> ()
+      | Error _ -> Alcotest.fail "create");
+      let await f =
+        let r = ref None in
+        f (fun x -> r := Some x);
+        Clock.run clock;
+        Option.get !r
+      in
+      for round = 1 to 12 do
+        for _ = 1 to 32 do
+          let slot = Rng.int rng (vol_blocks / io_blocks) in
+          let data = Bytes.to_string (Rng.bytes rng (io_blocks * 512)) in
+          ignore (await (Fa.write a ~volume:"v" ~block:(slot * io_blocks) data))
+        done;
+        if round mod 3 = 0 then
+          ignore
+            (await (fun k -> Fa.gc ~min_dead_ratio:0.3 ~max_victims:16 a (fun r -> k r)))
+      done;
+      let s = Fa.stats a in
+      check bool "array not leaking space" true
+        (s.Fa.physical_bytes_used < s.Fa.physical_capacity / 2))
 
 let () =
   Alcotest.run "crash-consistency"
     [
+      ( "directed-orderings",
+        [
+          Alcotest.test_case "crash during GC" `Quick test_crash_during_gc;
+          Alcotest.test_case "drive pull during rebuild" `Quick test_pull_during_rebuild;
+          Alcotest.test_case "NVRAM loss before checkpoint" `Quick
+            test_nvram_loss_before_checkpoint;
+          Alcotest.test_case "NVRAM loss without barrier" `Quick
+            test_nvram_loss_without_barrier;
+          Alcotest.test_case "corruption during degraded read" `Quick
+            test_corruption_during_degraded_read;
+        ] );
+      ( "lineage",
+        [
+          Alcotest.test_case "snapshot/clone lineage under crash" `Quick
+            test_snapshot_clone_lineage_under_crash;
+          Alcotest.test_case "resize racing a checkpoint" `Quick
+            test_resize_racing_checkpoint;
+          Alcotest.test_case "lineage property sweep" `Quick test_lineage_property;
+        ] );
       ( "fault-injection",
         [
-          Alcotest.test_case "seed 1" `Quick (test_seed 1L);
-          Alcotest.test_case "seed 2" `Quick (test_seed 2L);
-          Alcotest.test_case "seed 3" `Quick (test_seed 3L);
-          Alcotest.test_case "seed 4" `Quick (test_seed 4L);
-          Alcotest.test_case "seed 5" `Quick (test_seed 5L);
-          Alcotest.test_case "seed 6" `Quick (test_seed 6L);
-          Alcotest.test_case "seed 7" `Quick (test_seed 7L);
-          Alcotest.test_case "seed 8" `Quick (test_seed 8L);
+          Alcotest.test_case "seed 1" `Quick (run_seed 1L);
+          Alcotest.test_case "seed 2" `Quick (run_seed 2L);
+          Alcotest.test_case "seed 3" `Quick (run_seed 3L);
+          Alcotest.test_case "seed 4" `Quick (run_seed 4L);
           Alcotest.test_case "long haul" `Slow test_long_haul;
           Alcotest.test_case "heavy GC churn" `Quick test_no_crash_heavy_gc;
         ] );

@@ -30,9 +30,11 @@ type env = {
   io : Io.t;
 }
 
+let env_seed = 2024L
+
 let make_env ?(drives = 6) ?read_around_write () =
   let clock = Clock.create () in
-  let rng = Rng.create ~seed:2024L in
+  let rng = Rng.create ~seed:env_seed in
   let shelf = Shelf.create ~drive_config ~clock ~rng ~drives () in
   let rs = Rs.create ~k:3 ~m:2 in
   let alloc = Allocator.create ~layout ~drives ~aus_per_drive:64 () in
@@ -406,53 +408,59 @@ let test_read_around_write_avoids_busy_drive () =
   let s = Io.stats env.io in
   check bool "read-around-write reconstructed" true (s.Io.reconstruct_reads >= 0)
 
+(* Every environment in this file derives from [env_seed]; a failing
+   test reports it so the run can be reproduced. *)
+let test_case name speed f =
+  Alcotest.test_case name speed (fun () ->
+      ignore (Rng.with_seed_report ~seed:env_seed (fun _ -> f ())))
+
 let () =
   Alcotest.run "segment"
     [
       ( "layout",
         [
-          Alcotest.test_case "geometry" `Quick test_layout_geometry;
-          Alcotest.test_case "locate single" `Quick test_layout_locate_single;
-          Alcotest.test_case "locate striping" `Quick test_layout_locate_striping;
-          Alcotest.test_case "locate row advance" `Quick test_layout_locate_row_advance;
-          Alcotest.test_case "locate split" `Quick test_layout_locate_split;
-          Alcotest.test_case "bounds" `Quick test_layout_bounds;
-          Alcotest.test_case "bad geometry" `Quick test_layout_bad_geometry;
+          test_case "geometry" `Quick test_layout_geometry;
+          test_case "locate single" `Quick test_layout_locate_single;
+          test_case "locate striping" `Quick test_layout_locate_striping;
+          test_case "locate row advance" `Quick test_layout_locate_row_advance;
+          test_case "locate split" `Quick test_layout_locate_split;
+          test_case "bounds" `Quick test_layout_bounds;
+          test_case "bad geometry" `Quick test_layout_bad_geometry;
         ] );
       ( "header",
         [
-          Alcotest.test_case "roundtrip" `Quick test_header_roundtrip;
-          Alcotest.test_case "rejects garbage" `Quick test_header_rejects_garbage;
+          test_case "roundtrip" `Quick test_header_roundtrip;
+          test_case "rejects garbage" `Quick test_header_rejects_garbage;
         ] );
       ( "allocator",
         [
-          Alcotest.test_case "distinct drives" `Quick test_alloc_distinct_drives;
-          Alcotest.test_case "skips offline" `Quick test_alloc_skips_offline;
-          Alcotest.test_case "too few drives" `Quick test_alloc_fails_with_too_few_drives;
-          Alcotest.test_case "frontier-only allocation" `Quick test_alloc_from_frontier_only;
-          Alcotest.test_case "persists rarely" `Quick test_alloc_persist_rarely;
-          Alcotest.test_case "release recycles" `Quick test_alloc_release_recycles;
-          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion;
-          Alcotest.test_case "frontier roundtrip" `Quick test_alloc_frontier_roundtrip;
+          test_case "distinct drives" `Quick test_alloc_distinct_drives;
+          test_case "skips offline" `Quick test_alloc_skips_offline;
+          test_case "too few drives" `Quick test_alloc_fails_with_too_few_drives;
+          test_case "frontier-only allocation" `Quick test_alloc_from_frontier_only;
+          test_case "persists rarely" `Quick test_alloc_persist_rarely;
+          test_case "release recycles" `Quick test_alloc_release_recycles;
+          test_case "exhaustion" `Quick test_alloc_exhaustion;
+          test_case "frontier roundtrip" `Quick test_alloc_frontier_roundtrip;
         ] );
       ( "writer+io",
         [
-          Alcotest.test_case "write/read roundtrip" `Quick test_segment_write_read_roundtrip;
-          Alcotest.test_case "partial reads" `Quick test_segment_partial_reads;
-          Alcotest.test_case "read through two failures" `Quick test_segment_read_with_two_failures;
-          Alcotest.test_case "three failures unrecoverable" `Quick
+          test_case "write/read roundtrip" `Quick test_segment_write_read_roundtrip;
+          test_case "partial reads" `Quick test_segment_partial_reads;
+          test_case "read through two failures" `Quick test_segment_read_with_two_failures;
+          test_case "three failures unrecoverable" `Quick
             test_segment_read_three_failures_unrecoverable;
-          Alcotest.test_case "log records roundtrip" `Quick test_log_records_roundtrip;
-          Alcotest.test_case "capacity respected" `Quick test_writer_capacity_respected;
-          Alcotest.test_case "data and logs meet" `Quick test_writer_data_and_logs_meet;
-          Alcotest.test_case "read around write" `Quick test_read_around_write_avoids_busy_drive;
-          Alcotest.test_case "mid-flush remap" `Quick test_finalize_remaps_failed_member;
+          test_case "log records roundtrip" `Quick test_log_records_roundtrip;
+          test_case "capacity respected" `Quick test_writer_capacity_respected;
+          test_case "data and logs meet" `Quick test_writer_data_and_logs_meet;
+          test_case "read around write" `Quick test_read_around_write_avoids_busy_drive;
+          test_case "mid-flush remap" `Quick test_finalize_remaps_failed_member;
         ] );
       ( "scan",
         [
-          Alcotest.test_case "scan_all discovers" `Quick test_scan_all_discovers_segments;
-          Alcotest.test_case "scan_members scoped" `Quick test_scan_members_only_frontier;
-          Alcotest.test_case "survives pulled drive" `Quick test_scan_survives_pulled_drive;
-          Alcotest.test_case "frontier scan faster" `Quick test_scan_all_slower_than_members;
+          test_case "scan_all discovers" `Quick test_scan_all_discovers_segments;
+          test_case "scan_members scoped" `Quick test_scan_members_only_frontier;
+          test_case "survives pulled drive" `Quick test_scan_survives_pulled_drive;
+          test_case "frontier scan faster" `Quick test_scan_all_slower_than_members;
         ] );
     ]

@@ -238,33 +238,33 @@ let test_ftl_sequential_no_amplification () =
   check (Alcotest.float 0.01) "first fill WA=1" 1.0 (Ftl.write_amplification ftl)
 
 let test_ftl_random_writes_amplify () =
-  let ftl = Ftl.create () in
-  let rng = Rng.create ~seed:99L in
-  let n = Ftl.host_pages ftl in
-  (* fill once sequentially, then hammer with random overwrites *)
-  for lpn = 0 to n - 1 do
-    ignore (Ftl.write ftl ~lpn)
-  done;
-  for _ = 1 to 3 * n do
-    ignore (Ftl.write ftl ~lpn:(Rng.int rng n))
-  done;
-  let wa = Ftl.write_amplification ftl in
-  check bool (Printf.sprintf "random overwrites amplify (wa=%.2f)" wa) true (wa > 1.3)
+  Rng.with_seed_report ~seed:99L (fun rng ->
+      let ftl = Ftl.create () in
+      let n = Ftl.host_pages ftl in
+      (* fill once sequentially, then hammer with random overwrites *)
+      for lpn = 0 to n - 1 do
+        ignore (Ftl.write ftl ~lpn)
+      done;
+      for _ = 1 to 3 * n do
+        ignore (Ftl.write ftl ~lpn:(Rng.int rng n))
+      done;
+      let wa = Ftl.write_amplification ftl in
+      check bool (Printf.sprintf "random overwrites amplify (wa=%.2f)" wa) true (wa > 1.3))
 
 let test_ftl_gc_latency_spikes () =
-  let ftl = Ftl.create () in
-  let rng = Rng.create ~seed:100L in
-  let n = Ftl.host_pages ftl in
-  for lpn = 0 to n - 1 do
-    ignore (Ftl.write ftl ~lpn)
-  done;
-  let base = ref 0.0 and worst = ref 0.0 in
-  for _ = 1 to 2 * n do
-    let l = Ftl.write ftl ~lpn:(Rng.int rng n) in
-    base := Float.min (if !base = 0.0 then l else !base) l;
-    worst := Float.max !worst l
-  done;
-  check bool "GC causes >10x latency spikes" true (!worst > 10.0 *. !base)
+  Rng.with_seed_report ~seed:100L (fun rng ->
+      let ftl = Ftl.create () in
+      let n = Ftl.host_pages ftl in
+      for lpn = 0 to n - 1 do
+        ignore (Ftl.write ftl ~lpn)
+      done;
+      let base = ref 0.0 and worst = ref 0.0 in
+      for _ = 1 to 2 * n do
+        let l = Ftl.write ftl ~lpn:(Rng.int rng n) in
+        base := Float.min (if !base = 0.0 then l else !base) l;
+        worst := Float.max !worst l
+      done;
+      check bool "GC causes >10x latency spikes" true (!worst > 10.0 *. !base))
 
 let test_ftl_stats_consistent () =
   let ftl = Ftl.create () in
@@ -278,32 +278,32 @@ let test_ftl_stats_consistent () =
 (* ---------- Shelf ---------- *)
 
 let test_shelf_basics () =
-  let clock = Clock.create () in
-  let rng = Rng.create ~seed:5L in
-  let shelf = Shelf.create ~drive_config:small_config ~clock ~rng ~drives:11 () in
-  check int "drive count" 11 (Shelf.drive_count shelf);
-  check int "online" 11 (List.length (Shelf.online_drives shelf));
-  check int "physical bytes" (11 * 32 * 64 * 1024) (Shelf.physical_bytes shelf)
+  Rng.with_seed_report ~seed:5L (fun rng ->
+      let clock = Clock.create () in
+      let shelf = Shelf.create ~drive_config:small_config ~clock ~rng ~drives:11 () in
+      check int "drive count" 11 (Shelf.drive_count shelf);
+      check int "online" 11 (List.length (Shelf.online_drives shelf));
+      check int "physical bytes" (11 * 32 * 64 * 1024) (Shelf.physical_bytes shelf))
 
 let test_shelf_pull_and_reinsert () =
-  let clock = Clock.create () in
-  let rng = Rng.create ~seed:6L in
-  let shelf = Shelf.create ~drive_config:small_config ~clock ~rng ~drives:11 () in
-  Shelf.pull_drive shelf 3;
-  Shelf.pull_drive shelf 7;
-  check int "two pulled" 9 (List.length (Shelf.online_drives shelf));
-  check bool "3 offline" false (Drive.is_online (Shelf.drive shelf 3));
-  Shelf.reinsert_drive shelf 3;
-  check int "back online" 10 (List.length (Shelf.online_drives shelf))
+  Rng.with_seed_report ~seed:6L (fun rng ->
+      let clock = Clock.create () in
+      let shelf = Shelf.create ~drive_config:small_config ~clock ~rng ~drives:11 () in
+      Shelf.pull_drive shelf 3;
+      Shelf.pull_drive shelf 7;
+      check int "two pulled" 9 (List.length (Shelf.online_drives shelf));
+      check bool "3 offline" false (Drive.is_online (Shelf.drive shelf 3));
+      Shelf.reinsert_drive shelf 3;
+      check int "back online" 10 (List.length (Shelf.online_drives shelf)))
 
 let test_shelf_distinct_drive_salts () =
   (* Drives must get independent rngs (different corruption draws). *)
-  let clock = Clock.create () in
-  let rng = Rng.create ~seed:7L in
-  let shelf = Shelf.create ~drive_config:small_config ~clock ~rng ~drives:3 () in
-  check bool "distinct ids" true
-    (Drive.id (Shelf.drive shelf 0) <> Drive.id (Shelf.drive shelf 1)
-    && Drive.id (Shelf.drive shelf 1) <> Drive.id (Shelf.drive shelf 2))
+  Rng.with_seed_report ~seed:7L (fun rng ->
+      let clock = Clock.create () in
+      let shelf = Shelf.create ~drive_config:small_config ~clock ~rng ~drives:3 () in
+      check bool "distinct ids" true
+        (Drive.id (Shelf.drive shelf 0) <> Drive.id (Shelf.drive shelf 1)
+        && Drive.id (Shelf.drive shelf 1) <> Drive.id (Shelf.drive shelf 2)))
 
 let () =
   Alcotest.run "ssd"

@@ -12,38 +12,49 @@ let check = Alcotest.check
 let bool = Alcotest.bool
 let int = Alcotest.int
 
+module Rng = Purity_util.Rng
+
+(* The generators here take scalar seeds; [seeded] makes a failing test
+   print the seed it ran under so the run can be reproduced. *)
+let seeded seed f = Rng.with_seed_report ~seed (fun _ -> f ())
+
 (* ---------- Datagen ---------- *)
 
 let dg = Dg.create ~seed:77L
 
 let test_random_incompressible () =
-  let s = Dg.random dg 8192 in
-  check bool "ratio ~1" true (Lz.ratio s < 1.2)
+  seeded 77L (fun () ->
+    let s = Dg.random dg 8192 in
+    check bool "ratio ~1" true (Lz.ratio s < 1.2))
 
 let test_compressible_hits_target () =
-  let s = Dg.compressible dg 16384 ~target_ratio:4.0 in
-  let r = Lz.ratio s in
-  check bool (Printf.sprintf "ratio %.1f in band" r) true (r > 2.0 && r < 8.0)
+  seeded 77L (fun () ->
+    let s = Dg.compressible dg 16384 ~target_ratio:4.0 in
+    let r = Lz.ratio s in
+    check bool (Printf.sprintf "ratio %.1f in band" r) true (r > 2.0 && r < 8.0))
 
 let test_rdbms_page_band () =
-  let s = Dg.rdbms_page dg 16384 in
-  let r = Lz.ratio s in
-  check bool (Printf.sprintf "rdbms ratio %.1f in 3-8x" r) true (r >= 2.5 && r <= 10.0)
+  seeded 77L (fun () ->
+    let s = Dg.rdbms_page dg 16384 in
+    let r = Lz.ratio s in
+    check bool (Printf.sprintf "rdbms ratio %.1f in 3-8x" r) true (r >= 2.5 && r <= 10.0))
 
 let test_document_band () =
-  let s = Dg.document dg 16384 in
-  let r = Lz.ratio s in
-  check bool (Printf.sprintf "docstore ratio %.1f ~10x" r) true (r >= 5.0)
+  seeded 77L (fun () ->
+    let s = Dg.document dg 16384 in
+    let r = Lz.ratio s in
+    check bool (Printf.sprintf "docstore ratio %.1f ~10x" r) true (r >= 5.0))
 
 let test_vm_images_share_blocks () =
-  let a = Dg.vm_image dg ~blocks:128 in
-  let b = Dg.vm_image dg ~blocks:128 in
-  (* count identical 512B blocks at the same offsets across two images *)
-  let same = ref 0 in
-  for i = 0 to 127 do
-    if String.sub a (i * 512) 512 = String.sub b (i * 512) 512 then incr same
-  done;
-  check bool (Printf.sprintf "%d/128 shared" !same) true (!same > 64)
+  seeded 77L (fun () ->
+    let a = Dg.vm_image dg ~blocks:128 in
+    let b = Dg.vm_image dg ~blocks:128 in
+    (* count identical 512B blocks at the same offsets across two images *)
+    let same = ref 0 in
+    for i = 0 to 127 do
+      if String.sub a (i * 512) 512 = String.sub b (i * 512) 512 then incr same
+    done;
+    check bool (Printf.sprintf "%d/128 shared" !same) true (!same > 64))
 
 (* ---------- Workload runner ---------- *)
 
@@ -76,74 +87,80 @@ let run_workload wl_of ~ops =
   (a, Option.get !result)
 
 let test_uniform_completes_all_ops () =
-  let _a, r =
-    run_workload (fun volumes -> Wl.uniform ~seed:1L ~volumes ~read_fraction:0.5 ~io_blocks:64 ())
-      ~ops:200
-  in
-  check int "all ops" 200 r.Wl.ops;
-  check int "no errors" 0 r.Wl.errors;
-  check int "split" 200 (r.Wl.read_ops + r.Wl.write_ops);
-  check bool "simulated time advanced" true (r.Wl.elapsed_us > 0.0);
-  check bool "iops computed" true (r.Wl.iops > 0.0)
+  seeded 1L (fun () ->
+    let _a, r =
+      run_workload (fun volumes -> Wl.uniform ~seed:1L ~volumes ~read_fraction:0.5 ~io_blocks:64 ())
+        ~ops:200
+    in
+    check int "all ops" 200 r.Wl.ops;
+    check int "no errors" 0 r.Wl.errors;
+    check int "split" 200 (r.Wl.read_ops + r.Wl.write_ops);
+    check bool "simulated time advanced" true (r.Wl.elapsed_us > 0.0);
+    check bool "iops computed" true (r.Wl.iops > 0.0))
 
 let test_oltp_mix () =
-  let _a, r = run_workload (fun volumes -> Wl.oltp ~seed:2L ~volumes ()) ~ops:400 in
-  check int "no errors" 0 r.Wl.errors;
-  let read_frac = float_of_int r.Wl.read_ops /. float_of_int r.Wl.ops in
-  check bool (Printf.sprintf "read fraction %.2f ~0.7" read_frac) true
-    (read_frac > 0.6 && read_frac < 0.8)
+  seeded 2L (fun () ->
+    let _a, r = run_workload (fun volumes -> Wl.oltp ~seed:2L ~volumes ()) ~ops:400 in
+    check int "no errors" 0 r.Wl.errors;
+    let read_frac = float_of_int r.Wl.read_ops /. float_of_int r.Wl.ops in
+    check bool (Printf.sprintf "read fraction %.2f ~0.7" read_frac) true
+      (read_frac > 0.6 && read_frac < 0.8))
 
 let test_oltp_reduces () =
-  let a, _r = run_workload (fun volumes -> Wl.oltp ~seed:3L ~volumes ()) ~ops:400 in
-  let s = Fa.stats a in
-  if s.Fa.logical_bytes_written > 0 then
-    check bool "rdbms data compresses >2x" true
-      (s.Fa.stored_bytes_written * 2 < s.Fa.logical_bytes_written)
+  seeded 3L (fun () ->
+    let a, _r = run_workload (fun volumes -> Wl.oltp ~seed:3L ~volumes ()) ~ops:400 in
+    let s = Fa.stats a in
+    if s.Fa.logical_bytes_written > 0 then
+      check bool "rdbms data compresses >2x" true
+        (s.Fa.stored_bytes_written * 2 < s.Fa.logical_bytes_written))
 
 let test_vdi_dedups () =
-  let clock = Clock.create () in
-  let a = Fa.create ~config:small_config ~clock () in
-  let volumes = [ ("desk0", 4096); ("desk1", 4096); ("desk2", 4096) ] in
-  Wl.provision a ~volumes;
-  let datagen = Dg.create ~seed:9L in
-  let wl = Wl.vdi ~seed:9L ~volumes ~datagen () in
-  let result = ref None in
-  Wl.run a wl ~ops:300 ~concurrency:4 (fun r -> result := Some r);
-  Clock.run clock;
-  let r = Option.get !result in
-  check int "no errors" 0 r.Wl.errors;
-  check bool "vdi writes deduplicate" true ((Fa.stats a).Fa.dedup_blocks > 0)
+  seeded 9L (fun () ->
+    let clock = Clock.create () in
+    let a = Fa.create ~config:small_config ~clock () in
+    let volumes = [ ("desk0", 4096); ("desk1", 4096); ("desk2", 4096) ] in
+    Wl.provision a ~volumes;
+    let datagen = Dg.create ~seed:9L in
+    let wl = Wl.vdi ~seed:9L ~volumes ~datagen () in
+    let result = ref None in
+    Wl.run a wl ~ops:300 ~concurrency:4 (fun r -> result := Some r);
+    Clock.run clock;
+    let r = Option.get !result in
+    check int "no errors" 0 r.Wl.errors;
+    check bool "vdi writes deduplicate" true ((Fa.stats a).Fa.dedup_blocks > 0))
 
 (* ---------- Disk array baseline ---------- *)
 
 let test_disk_read_latency_ms () =
-  let clock = Clock.create () in
-  let d = Disk.create ~clock ~seed:4L () in
-  let done_ = ref 0 in
-  for _ = 1 to 200 do
-    Disk.read d ~bytes:32768 (fun () -> incr done_)
-  done;
-  Clock.run clock;
-  check int "all reads" 200 !done_;
-  let p50 = Purity_util.Histogram.percentile (Disk.read_lat d) 50.0 in
-  (* the paper's Table 1: ~5 ms disk latency *)
-  check bool (Printf.sprintf "p50 %.0f us in ms range" p50) true (p50 > 2000.0 && p50 < 15000.0)
+  seeded 4L (fun () ->
+    let clock = Clock.create () in
+    let d = Disk.create ~clock ~seed:4L () in
+    let done_ = ref 0 in
+    for _ = 1 to 200 do
+      Disk.read d ~bytes:32768 (fun () -> incr done_)
+    done;
+    Clock.run clock;
+    check int "all reads" 200 !done_;
+    let p50 = Purity_util.Histogram.percentile (Disk.read_lat d) 50.0 in
+    (* the paper's Table 1: ~5 ms disk latency *)
+    check bool (Printf.sprintf "p50 %.0f us in ms range" p50) true (p50 > 2000.0 && p50 < 15000.0))
 
 let test_disk_writes_cached_then_stall () =
-  let clock = Clock.create () in
-  let d = Disk.create ~clock ~seed:5L () in
-  (* first writes are RAM-speed *)
-  Disk.write d ~bytes:32768 (fun () -> ());
-  Clock.run clock;
-  let fast = Purity_util.Histogram.max_value (Disk.write_lat d) in
-  check bool "cached write fast" true (fast < 1000.0);
-  (* sustained flood eventually exceeds destage bandwidth *)
-  for _ = 1 to 200_000 do
-    Disk.write d ~bytes:32768 (fun () -> ())
-  done;
-  Clock.run clock;
-  let worst = Purity_util.Histogram.max_value (Disk.write_lat d) in
-  check bool "flooded writes stall" true (worst > 10.0 *. fast)
+  seeded 5L (fun () ->
+    let clock = Clock.create () in
+    let d = Disk.create ~clock ~seed:5L () in
+    (* first writes are RAM-speed *)
+    Disk.write d ~bytes:32768 (fun () -> ());
+    Clock.run clock;
+    let fast = Purity_util.Histogram.max_value (Disk.write_lat d) in
+    check bool "cached write fast" true (fast < 1000.0);
+    (* sustained flood eventually exceeds destage bandwidth *)
+    for _ = 1 to 200_000 do
+      Disk.write d ~bytes:32768 (fun () -> ())
+    done;
+    Clock.run clock;
+    let worst = Purity_util.Histogram.max_value (Disk.write_lat d) in
+    check bool "flooded writes stall" true (worst > 10.0 *. fast))
 
 (* ---------- Scale-out model ---------- *)
 

@@ -1,0 +1,41 @@
+(* Torture sweep: many random fault-plan scenarios through purity.check.
+   Excluded from the tier-1 `dune runtest` gate; run with `make torture`
+   or `dune build @torture`. Exit status 1 on the first violation, with a
+   report that prints the seed and the shrunk reproducing trace. *)
+
+module Runner = Purity_check.Runner
+module Plan = Purity_check.Plan
+
+let () =
+  let base = ref 1_000L in
+  let count = ref 1_000 in
+  let steps = ref Plan.default_gen.Plan.steps in
+  let spec =
+    [
+      ("-base", Arg.String (fun s -> base := Int64.of_string s), "first seed (default 1000)");
+      ("-count", Arg.Set_int count, "number of seeds (default 1000)");
+      ("-steps", Arg.Set_int steps, "generation steps per scenario");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "torture [-base N] [-count N] [-steps N]";
+  let gen = { Plan.default_gen with Plan.steps = !steps } in
+  let t0 = Unix.gettimeofday () in
+  let failed = ref false in
+  (try
+     for i = 0 to !count - 1 do
+       let seed = Int64.add !base (Int64.of_int i) in
+       (match Runner.check_seed ~gen seed with
+       | Ok () -> ()
+       | Error report ->
+         Format.printf "%a@." Runner.pp_report report;
+         failed := true;
+         raise Exit);
+       if (i + 1) mod 100 = 0 then
+         Format.printf "%d/%d scenarios clean (%.1fs)@." (i + 1) !count
+           (Unix.gettimeofday () -. t0)
+     done
+   with Exit -> ());
+  if !failed then exit 1
+  else
+    Format.printf "torture: %d scenarios clean in %.1fs@." !count
+      (Unix.gettimeofday () -. t0)
