@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test torture bench clean
+.PHONY: all check test torture bench bench-micro clean
 
 all:
 	dune build
@@ -19,6 +19,11 @@ torture:
 
 bench:
 	dune exec bench/main.exe
+
+# Just the wall-clock CPU suite (Bechamel primitives + the metadata
+# hot-path before/after rows); writes BENCH_Micro.json.
+bench-micro:
+	dune exec bench/main.exe -- micro
 
 clean:
 	dune clean

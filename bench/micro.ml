@@ -104,9 +104,15 @@ let run () =
             | Some i -> String.sub name (i + 1) (String.length name - i - 1)
             | None -> name
           in
+          Bench_util.emit_row ~kind:"bench_micro"
+            [
+              ("name", Purity_telemetry.Json.Str name);
+              ("ns_per_op", Purity_telemetry.Json.Float est);
+            ];
           Printf.printf "  %-34s %12.0f ns/op\n" name est
         | _ -> Printf.printf "  %-34s %12s\n" name "n/a")
       (List.sort compare rows));
   Printf.printf
     "\n  Note: packed scan vs naive scan shows the benefit of comparing bit\n\
-    \  patterns instead of decompressing tuples (paper section 4.9).\n"
+    \  patterns instead of decompressing tuples (paper section 4.9).\n";
+  Exp_metadata_hotpath.run_in_section ()

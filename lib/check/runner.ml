@@ -9,6 +9,7 @@
 
 module Clock = Purity_sim.Clock
 module Fa = Purity_core.Flash_array
+module State = Purity_core.State
 module Recovery = Purity_core.Recovery
 module Shelf = Purity_ssd.Shelf
 module Drive = Purity_ssd.Drive
@@ -326,6 +327,38 @@ let audit_data ctx =
       done)
     (Model.listing ctx.model)
 
+(* The mapping cache and batched range resolution are pure performance
+   artifacts: for every block of every view they must agree exactly with
+   a from-scratch chain walk, no matter what faults (crashes, GC,
+   elides, medium retirement) the scenario threw at the cache's
+   invalidation hooks. *)
+let audit_mapping_cache ctx =
+  let st = Fa.state ctx.arr in
+  Hashtbl.iter
+    (fun name (v : State.volume) ->
+      let medium = v.State.medium and blocks = v.State.blocks in
+      if blocks > 0 then begin
+        let refs = State.resolve_range st ~medium ~block:0 ~nblocks:blocks in
+        for b = 0 to blocks - 1 do
+          let cached = State.resolve_block st ~medium ~block:b in
+          let uncached = State.resolve_block_uncached st ~medium ~block:b in
+          if cached <> uncached then
+            raise
+              (Violation
+                 (Printf.sprintf
+                    "mapping-cache drift: %s block %d cached and uncached resolution disagree"
+                    name b));
+          if refs.(b) <> uncached then
+            raise
+              (Violation
+                 (Printf.sprintf
+                    "batched-resolution drift: %s block %d resolve_range disagrees with \
+                     per-block resolution"
+                    name b))
+        done
+      end)
+    st.State.volumes
+
 let audit_counters ctx =
   let s = Fa.stats ctx.arr in
   let shelf_losses = Nvram.losses (Shelf.nvram (Fa.shelf ctx.arr)) in
@@ -367,12 +400,14 @@ let finalize ctx =
   done;
   audit_namespace ctx;
   audit_data ctx;
+  audit_mapping_cache ctx;
   (* and once more through a clean failover: recovery must reproduce the
      same state from the shelf alone *)
   Fa.crash ctx.arr;
   settle ctx;
   audit_namespace ctx;
   audit_data ctx;
+  audit_mapping_cache ctx;
   audit_counters ctx
 
 (* ---------- plan execution ---------- *)

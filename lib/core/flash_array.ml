@@ -16,6 +16,7 @@ type config = State.config = {
   dedup_config : Purity_dedup.Dedup.config;
   checkpoint_every_writes : int;
   read_cache_entries : int;
+  map_cache_entries : int;
   secondary_warming : bool;
   seed : int64;
 }

@@ -42,6 +42,8 @@ type config = State.config = {
   checkpoint_every_writes : int;  (** 0 = checkpoint manually *)
   read_cache_entries : int;
       (** cblock frames cached in controller DRAM (0 disables) *)
+  map_cache_entries : int;
+      (** logical->blockref mapping-cache slots (0 disables) *)
   secondary_warming : bool;
       (** §4.3: the primary warms the spare's cache, so failover starts
           warm (E14 ablation switch) *)

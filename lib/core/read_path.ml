@@ -19,12 +19,15 @@ type fetch = {
 }
 
 let plan t ~medium ~block ~nblocks =
-  (* Resolve every requested block, grouping consecutive blocks that live
-     in the same cblock into one fetch. *)
+  (* Resolve the whole range in one batched pass (each medium level does
+     one lower_bound + walk per patch instead of a binary search per
+     block), then group consecutive blocks that live in the same cblock
+     into one fetch. *)
+  let refs = resolve_range t ~medium ~block ~nblocks in
   let fetches : fetch list ref = ref [] in
   let zeros = ref [] in
   for i = 0 to nblocks - 1 do
-    match resolve_block t ~medium ~block:(block + i) with
+    match refs.(i) with
     | None -> zeros := i :: !zeros
     | Some r -> (
       match !fetches with

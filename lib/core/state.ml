@@ -46,6 +46,7 @@ type config = {
   dedup_config : Dedup.config;
   checkpoint_every_writes : int; (* 0 = manual checkpoints only *)
   read_cache_entries : int; (* cblock frames cached in controller DRAM; 0 = off *)
+  map_cache_entries : int; (* logical->blockref mapping cache slots; 0 = off *)
   secondary_warming : bool;
       (* paper 4.3: the primary asynchronously warms the spare's cache, so
          a failover starts warm instead of cold *)
@@ -76,6 +77,7 @@ let default_config =
     dedup_config = Dedup.default_config;
     checkpoint_every_writes = 0;
     read_cache_entries = 4096;
+    map_cache_entries = 8192;
     secondary_warming = true;
     seed = 0x5EEDL;
   }
@@ -134,6 +136,8 @@ type write_stats = {
   gc_dedup_blocks : Registry.counter; (* cblocks collapsed by the GC pass *)
   cache_hits : Registry.counter; (* controller-DRAM read cache *)
   cache_misses : Registry.counter;
+  map_hits : Registry.counter; (* logical->blockref mapping cache *)
+  map_misses : Registry.counter;
   nvram_commit_us : Histogram.t; (* write intent -> durability ack *)
 }
 
@@ -193,6 +197,12 @@ type t = {
   dedup : Dedup.t;
   dedup_locs : (int, Blockref.t) Hashtbl.t; (* dedup write id -> cblock home *)
   read_cache : (int * int, string) Purity_util.Lru.t; (* (segment, off) -> frame *)
+  map_cache : (int * int, Blockref.t option) Purity_util.Lru.t;
+      (* (medium, block) -> memoized block-pyramid lookup, negative
+         results included (thin-provisioned upper levels miss constantly).
+         Each entry mirrors exactly one pyramid key, so invalidation is
+         exact: any fact or elide landing on the key evicts it. Never
+         consulted for snapshot reads — those carry their own seq bound. *)
   (* accounting *)
   write_lat : Histogram.t;
   read_lat : Histogram.t;
@@ -225,6 +235,17 @@ let register_derived_telemetry t =
   Registry.derive_int reg "volumes/count" (fun () -> Hashtbl.length t.volumes);
   Registry.derive_int reg "pyramid/blocks_facts" (fun () -> Pyramid.fact_count t.blocks);
   Registry.derive_int reg "pyramid/blocks_patches" (fun () -> Pyramid.patch_count t.blocks);
+  Registry.derive_int reg "pyramid/blocks_probes" (fun () ->
+      let p, _, _ = Pyramid.probe_stats t.blocks in
+      p);
+  Registry.derive_int reg "pyramid/blocks_fence_skips" (fun () ->
+      let _, f, _ = Pyramid.probe_stats t.blocks in
+      f);
+  Registry.derive_int reg "pyramid/blocks_bloom_skips" (fun () ->
+      let _, _, b = Pyramid.probe_stats t.blocks in
+      b);
+  Registry.derive_int reg "read_path/map_cache_entries" (fun () ->
+      Purity_util.Lru.length t.map_cache);
   Registry.derive_int reg "trace/dropped_spans" (fun () -> Span.dropped t.tracer)
 
 let create_over ~config ~clock ~shelf ~boot () =
@@ -288,6 +309,7 @@ let create_over ~config ~clock ~shelf ~boot () =
     dedup = Dedup.create ~config:config.dedup_config ();
     dedup_locs = Hashtbl.create 1024;
     read_cache = Purity_util.Lru.create ~capacity:(max 1 config.read_cache_entries);
+    map_cache = Purity_util.Lru.create ~capacity:(max 1 config.map_cache_entries);
     write_lat = Registry.histogram tel "write_path/latency_us";
     read_lat = Registry.histogram tel "read_path/latency_us";
     ws =
@@ -299,6 +321,8 @@ let create_over ~config ~clock ~shelf ~boot () =
         gc_dedup_blocks = Registry.counter tel "dedup/gc_blocks";
         cache_hits = Registry.counter tel "read_path/cache_hits";
         cache_misses = Registry.counter tel "read_path/cache_misses";
+        map_hits = Registry.counter tel "read_path/map_cache_hits";
+        map_misses = Registry.counter tel "read_path/map_cache_misses";
         nvram_commit_us = Registry.histogram tel "write_path/nvram_commit_us";
       };
     online = true;
@@ -512,7 +536,8 @@ and pump_flush t =
         t.flush_active <- false;
         pump_flush t;
         if t.pending_flush_count = 0 then begin
-          let waiters = List.rev t.flush_waiters in
+          (* stored newest-first; fired as stored (see when_flushed) *)
+          let waiters = t.flush_waiters in
           t.flush_waiters <- [];
           List.iter (fun f -> f ()) waiters
         end)
@@ -569,8 +594,30 @@ let stash_elide t tag ~seq ~lo ~hi =
     Nvram.commit (nvram t) { Nvram.seq = seq; payload = Buffer.contents buf } (fun _ -> ())
   end
 
+(* Mapping-cache invalidation. Every mutation of the block pyramid flows
+   through put/put_delete/put_elide below (the write path's overwrites,
+   GC relocation, TRIM, medium retirement); recovery replays into a
+   brand-new state whose cache is empty, so replayed facts need no
+   eviction. An entry caches exactly one pyramid key, making point
+   eviction exact. *)
+let invalidate_block_mapping t key =
+  Purity_util.Lru.remove t.map_cache
+    (Keys.block_key_medium key, Keys.block_key_block key)
+
+(* Medium ids are the blocks pyramid's elide ids: retiring mediums
+   [lo..hi] kills every cached mapping they own. Rare (volume/snapshot
+   deletion), so a full cache sweep is fine. *)
+let invalidate_medium_mappings t ~lo ~hi =
+  let victims =
+    Purity_util.Lru.fold
+      (fun ((m, _) as k) _ acc -> if m >= lo && m <= hi then k :: acc else acc)
+      t.map_cache []
+  in
+  List.iter (Purity_util.Lru.remove t.map_cache) victims
+
 (* Insert + log helpers used by all mutation paths. *)
 let put t pyr ~key ~value =
+  if pyr == t.blocks then invalidate_block_mapping t key;
   let seq = Seqno.next t.seqno in
   let fact = Fact.make ~key ~value ~seq in
   Pyramid.insert_fact pyr fact;
@@ -580,6 +627,7 @@ let put t pyr ~key ~value =
   seq
 
 let put_delete t pyr ~key =
+  if pyr == t.blocks then invalidate_block_mapping t key;
   let seq = Seqno.next t.seqno in
   let fact = Fact.tombstone ~key ~seq in
   Pyramid.insert_fact pyr fact;
@@ -589,6 +637,7 @@ let put_delete t pyr ~key =
   seq
 
 let put_elide t pyr ~lo ~hi =
+  if pyr == t.blocks then invalidate_medium_mappings t ~lo ~hi;
   let seq = Seqno.next t.seqno in
   Pyramid.elide_range pyr ~seq ~lo ~hi;
   let tag = table_tag (Pyramid.name pyr) in
@@ -618,29 +667,143 @@ let decode_volume_value s =
 let persist_volume t name v =
   ignore (put t t.volumes_pyr ~key:name ~value:(encode_volume_value v))
 
-let lookup_blockref t ~medium ~block =
+let lookup_blockref_uncached t ~medium ~block =
   match Pyramid.find t.blocks (Keys.block_key ~medium ~block) with
   | Some v -> Some (Blockref.decode v)
   | None -> None
+
+let lookup_blockref t ~medium ~block =
+  if t.cfg.map_cache_entries = 0 then lookup_blockref_uncached t ~medium ~block
+  else
+    match Purity_util.Lru.find t.map_cache (medium, block) with
+    | Some cached ->
+      Registry.incr t.ws.map_hits;
+      cached
+    | None ->
+      Registry.incr t.ws.map_misses;
+      let r = lookup_blockref_uncached t ~medium ~block in
+      Purity_util.Lru.add t.map_cache (medium, block) r;
+      r
 
 (* Nearest level of the medium chain holding this block. *)
 let resolve_block t ~medium ~block =
   let chain = Medium.resolve t.medium_table medium ~block in
   List.find_map (fun (med, blk) -> lookup_blockref t ~medium:med ~block:blk) chain
 
+(* The reference path the correctness sweeps compare against: same chain
+   walk, every pyramid probe done from scratch. *)
+let resolve_block_uncached t ~medium ~block =
+  let chain = Medium.resolve t.medium_table medium ~block in
+  List.find_map (fun (med, blk) -> lookup_blockref_uncached t ~medium:med ~block:blk) chain
+
+(* Batched resolution for [nblocks] consecutive logical blocks:
+   equivalent to calling [resolve_block] per block, but each medium
+   level consulted does one lower_bound + sequential walk per patch
+   (Pyramid.find_run) for all its unresolved blocks instead of per-block
+   binary searches. Sub-ranges are split along extent boundaries and
+   recursed level by level, respecting [skip_local] exactly as
+   Medium.resolve does. *)
+let resolve_range t ~medium ~block ~nblocks =
+  let out = Array.make nblocks None in
+  let resolved = Array.make nblocks false in
+  let use_cache = t.cfg.map_cache_entries > 0 in
+  (* one level of one extent piece: fill [off .. off+len-1] from the
+     cache, then one batched pyramid run for the misses *)
+  let lookup_level ~medium ~block ~len ~off =
+    let pending = Array.make len false in
+    let first = ref len and last = ref (-1) in
+    for i = 0 to len - 1 do
+      if not resolved.(off + i) then begin
+        let cached =
+          if use_cache then Purity_util.Lru.find t.map_cache (medium, block + i) else None
+        in
+        match cached with
+        | Some r ->
+          Registry.incr t.ws.map_hits;
+          (match r with
+          | Some _ ->
+            out.(off + i) <- r;
+            resolved.(off + i) <- true
+          | None -> () (* this level known empty; deeper levels may serve *))
+        | None ->
+          if use_cache then Registry.incr t.ws.map_misses;
+          pending.(i) <- true;
+          if i < !first then first := i;
+          last := i
+      end
+    done;
+    if !last >= !first then begin
+      let base = block + !first in
+      let n = !last - !first + 1 in
+      let run =
+        Pyramid.find_run t.blocks ~n
+          ~key_of:(fun i -> Keys.block_key ~medium ~block:(base + i))
+          ~index:(fun key ->
+            if Keys.block_key_medium key = medium then Keys.block_key_block key - base
+            else -1)
+      in
+      for i = !first to !last do
+        if pending.(i) then begin
+          let v = Pyramid.resolve_fact t.blocks run.(i - !first) in
+          let r = Option.map Blockref.decode v in
+          if use_cache then Purity_util.Lru.add t.map_cache (medium, block + i) r;
+          match r with
+          | Some _ ->
+            out.(off + i) <- r;
+            resolved.(off + i) <- true
+          | None -> ()
+        end
+      done
+    end
+  in
+  let limit = List.length (Medium.live_mediums t.medium_table) + 1 in
+  let rec go ~medium ~block ~n ~off depth =
+    if n > 0 && depth <= limit then
+      match Medium.extent_of t.medium_table medium ~block with
+      | None ->
+        (* out of range at this level: the chain for this block ends *)
+        go ~medium ~block:(block + 1) ~n:(n - 1) ~off:(off + 1) depth
+      | Some e ->
+        let len = min n (e.Medium.end_block - block + 1) in
+        if not e.Medium.skip_local then lookup_level ~medium ~block ~len ~off;
+        (match e.Medium.target with
+        | Medium.Base -> ()
+        | Medium.Underlying { medium = under; offset } ->
+          (* recurse for each contiguous run of still-unresolved slots *)
+          let i = ref 0 in
+          while !i < len do
+            if resolved.(off + !i) then incr i
+            else begin
+              let j = ref !i in
+              while !j < len && not resolved.(off + !j) do
+                incr j
+              done;
+              go ~medium:under
+                ~block:(block - e.Medium.start_block + offset + !i)
+                ~n:(!j - !i) ~off:(off + !i) (depth + 1);
+              i := !j
+            end
+          done);
+        go ~medium ~block:(block + len) ~n:(n - len) ~off:(off + len) depth
+  in
+  go ~medium ~block ~n:nblocks ~off:0 0;
+  out
+
 let find_segment t id = Hashtbl.find_opt t.segment_metas id
 
 (* A medium "has blocks" in [lo..hi] iff the block index holds a live fact
    there — the predicate the GC feeds to Medium.shortcut. *)
 let medium_has_blocks t ~medium ~lo ~hi =
-  Pyramid.range t.blocks ~lo:(Keys.block_key ~medium ~block:lo)
+  Pyramid.exists_live_in_range t.blocks
+    ~lo:(Keys.block_key ~medium ~block:lo)
     ~hi:(Keys.block_key ~medium ~block:hi)
-  <> []
 
-(* Run [k] once every sealed segio has finished flushing to the drives. *)
+(* Run [k] once every sealed segio has finished flushing to the drives.
+   Prepend (O(1) per registration); pump_flush fires the list as stored,
+   preserving the firing order of the old append+rev pairing. *)
 let when_flushed t k =
   if t.pending_flush_count = 0 then Clock.schedule t.clock ~delay:0.0 k
-  else t.flush_waiters <- t.flush_waiters @ [ k ]
+  else t.flush_waiters <- k :: t.flush_waiters
 
 (* ---------- boot-region blob ---------- *)
 

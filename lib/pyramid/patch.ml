@@ -1,11 +1,53 @@
 module Varint = Purity_util.Varint
 module Crc32c = Purity_util.Crc32c
+module Bloom = Purity_util.Bloom
 
-type t = Fact.t array (* sorted by (key asc, seq desc), no (key,seq) dups *)
+(* A patch is an immutable sorted run of facts plus lookup fences: the
+   key range comes free from the sorted array's ends, and patches big
+   enough to matter carry a bloom filter over their distinct keys so the
+   point-lookup path can skip whole patches without binary-searching
+   them (paper §4.9: consulting metadata pages must stay cheap as the
+   pyramid deepens). *)
+type t = {
+  facts : Fact.t array; (* sorted by (key asc, seq desc), no (key,seq) dups *)
+  bloom : Bloom.t option; (* key filter; None below [bloom_threshold] *)
+  seq_lo : int64; (* min seq over facts; max_int when empty *)
+  seq_hi : int64; (* max seq over facts; min_int when empty *)
+}
 
-let empty = [||]
-let count = Array.length
-let is_empty t = Array.length t = 0
+(* Below this many facts a binary search is already a handful of
+   comparisons; the filter would cost more to build than it saves. *)
+let bloom_threshold = 16
+
+(* [facts] must already be sorted and deduped. *)
+let make facts =
+  let n = Array.length facts in
+  let bloom =
+    if n < bloom_threshold then None
+    else begin
+      let b = Bloom.create ~expected:n () in
+      let prev = ref "" in
+      Array.iteri
+        (fun i f ->
+          if i = 0 || f.Fact.key <> !prev then begin
+            Bloom.add b f.Fact.key;
+            prev := f.Fact.key
+          end)
+        facts;
+      Some b
+    end
+  in
+  let seq_lo = ref Int64.max_int and seq_hi = ref Int64.min_int in
+  Array.iter
+    (fun f ->
+      if Int64.compare f.Fact.seq !seq_lo < 0 then seq_lo := f.Fact.seq;
+      if Int64.compare f.Fact.seq !seq_hi > 0 then seq_hi := f.Fact.seq)
+    facts;
+  { facts; bloom; seq_lo = !seq_lo; seq_hi = !seq_hi }
+
+let empty = { facts = [||]; bloom = None; seq_lo = Int64.max_int; seq_hi = Int64.min_int }
+let count t = Array.length t.facts
+let is_empty t = Array.length t.facts = 0
 
 let dedup_sorted facts =
   (* facts sorted by compare_key_seq; drop exact (key, seq) duplicates. *)
@@ -21,62 +63,117 @@ let dedup_sorted facts =
 let of_facts facts =
   let a = Array.of_list facts in
   Array.sort Fact.compare_key_seq a;
-  dedup_sorted a
+  make (dedup_sorted a)
 
-let seq_range t =
-  if is_empty t then None
-  else begin
-    let lo = ref (t.(0)).Fact.seq and hi = ref (t.(0)).Fact.seq in
-    Array.iter
-      (fun f ->
-        if Int64.compare f.Fact.seq !lo < 0 then lo := f.Fact.seq;
-        if Int64.compare f.Fact.seq !hi > 0 then hi := f.Fact.seq)
-      t;
-    Some (!lo, !hi)
-  end
+let seq_range t = if is_empty t then None else Some (t.seq_lo, t.seq_hi)
+let max_seq t = t.seq_hi
+let min_seq t = t.seq_lo
 
 let key_range t =
-  if is_empty t then None else Some ((t.(0)).Fact.key, (t.(Array.length t - 1)).Fact.key)
+  if is_empty t then None
+  else Some ((t.facts.(0)).Fact.key, (t.facts.(Array.length t.facts - 1)).Fact.key)
 
 (* Index of the first fact with key >= [key]. *)
 let lower_bound t key =
-  let lo = ref 0 and hi = ref (Array.length t) in
+  let a = t.facts in
+  let lo = ref 0 and hi = ref (Array.length a) in
   while !lo < !hi do
     let mid = (!lo + !hi) / 2 in
-    if String.compare (t.(mid)).Fact.key key < 0 then lo := mid + 1 else hi := mid
+    if String.compare (a.(mid)).Fact.key key < 0 then lo := mid + 1 else hi := mid
   done;
   !lo
 
+(* Fence checks: cheap rejections before any binary search. *)
+let fence_admits t key =
+  let a = t.facts in
+  let n = Array.length a in
+  n > 0
+  && String.compare (a.(0)).Fact.key key <= 0
+  && String.compare key (a.(n - 1)).Fact.key <= 0
+
+let fence_overlaps t ~lo ~hi =
+  let a = t.facts in
+  let n = Array.length a in
+  n > 0
+  && String.compare (a.(0)).Fact.key hi <= 0
+  && String.compare lo (a.(n - 1)).Fact.key <= 0
+
+let bloom_admits t key = match t.bloom with None -> true | Some b -> Bloom.mem b key
+
+(* One key is tested against every patch on the lookup path: hash once,
+   probe each filter with the digests. *)
+let bloom_admits_hashed t hashes =
+  match t.bloom with None -> true | Some b -> Bloom.mem_hashed b (Lazy.force hashes)
+
+let has_bloom t = t.bloom <> None
+
 let find t key =
+  let a = t.facts in
   let i = ref (lower_bound t key) in
   let acc = ref [] in
-  while !i < Array.length t && (t.(!i)).Fact.key = key do
-    acc := t.(!i) :: !acc;
+  while !i < Array.length a && (a.(!i)).Fact.key = key do
+    acc := a.(!i) :: !acc;
     incr i
   done;
   List.rev !acc
 
 let find_latest t key =
   let i = lower_bound t key in
-  if i < Array.length t && (t.(i)).Fact.key = key then Some t.(i) else None
+  if i < Array.length t.facts && (t.facts.(i)).Fact.key = key then Some t.facts.(i) else None
 
-let iter t f = Array.iter f t
-let fold f init t = Array.fold_left f init t
-let to_list t = Array.to_list t
-let get t i = t.(i)
+(* Latest fact for [key] with seq <= [snapshot]. A key's facts sit
+   newest-first, so the first admissible one wins; nothing is allocated
+   on the miss path. *)
+let find_latest_at t key ~snapshot =
+  let a = t.facts in
+  let n = Array.length a in
+  let i = ref (lower_bound t key) in
+  let best = ref None in
+  (try
+     while !i < n && (a.(!i)).Fact.key = key do
+       if Int64.compare (a.(!i)).Fact.seq snapshot <= 0 then begin
+         best := Some a.(!i);
+         raise Exit
+       end;
+       incr i
+     done
+   with Exit -> ());
+  !best
+
+let iter t f = Array.iter f t.facts
+let fold f init t = Array.fold_left f init t.facts
+let to_list t = Array.to_list t.facts
+let get t i = t.facts.(i)
 
 let range t ~lo ~hi =
+  let a = t.facts in
   let i = ref (lower_bound t lo) in
   let acc = ref [] in
-  while !i < Array.length t && String.compare (t.(!i)).Fact.key hi <= 0 do
-    acc := t.(!i) :: !acc;
+  while !i < Array.length a && String.compare (a.(!i)).Fact.key hi <= 0 do
+    acc := a.(!i) :: !acc;
     incr i
   done;
   List.rev !acc
 
+(* One lower_bound, then a sequential walk: the batched-resolution
+   primitive. [f] sees every fact with lo <= key <= hi in order. *)
+let iter_run t ~lo ~hi f =
+  let a = t.facts in
+  let n = Array.length a in
+  let i = ref (lower_bound t lo) in
+  while !i < n && String.compare (a.(!i)).Fact.key hi <= 0 do
+    f a.(!i);
+    incr i
+  done
+
+let exists_in_range t ~lo ~hi =
+  let i = lower_bound t lo in
+  i < Array.length t.facts && String.compare (t.facts.(i)).Fact.key hi <= 0
+
 let merge a b =
   (* Linear merge of two sorted runs, dropping (key, seq) duplicates. *)
-  let na = Array.length a and nb = Array.length b in
+  let fa = a.facts and fb = b.facts in
+  let na = Array.length fa and nb = Array.length fb in
   let out = ref [] in
   let push f =
     match !out with
@@ -86,27 +183,37 @@ let merge a b =
   let i = ref 0 and j = ref 0 in
   while !i < na || !j < nb do
     if !i >= na then begin
-      push b.(!j);
+      push fb.(!j);
       incr j
     end
     else if !j >= nb then begin
-      push a.(!i);
+      push fa.(!i);
       incr i
     end
-    else if Fact.compare_key_seq a.(!i) b.(!j) <= 0 then begin
-      push a.(!i);
+    else if Fact.compare_key_seq fa.(!i) fb.(!j) <= 0 then begin
+      push fa.(!i);
       incr i
     end
     else begin
-      push b.(!j);
+      push fb.(!j);
       incr j
     end
   done;
-  Array.of_list (List.rev !out)
+  make (Array.of_list (List.rev !out))
 
-let merge_many ts = List.fold_left merge empty ts
+(* Balanced pairwise rounds: each fact takes part in O(log n) merges
+   instead of the O(n) of a left fold that re-merges its accumulator. *)
+let rec merge_many = function
+  | [] -> empty
+  | [ t ] -> t
+  | ts ->
+    let rec pairwise = function
+      | a :: b :: rest -> merge a b :: pairwise rest
+      | rest -> rest
+    in
+    merge_many (pairwise ts)
 
-let filter t pred = Array.of_seq (Seq.filter pred (Array.to_seq t))
+let filter t pred = make (Array.of_seq (Seq.filter pred (Array.to_seq t.facts)))
 
 let compact_latest t ~drop_tombstones =
   let out = ref [] in
@@ -118,13 +225,13 @@ let compact_latest t ~drop_tombstones =
         last_key := Some f.Fact.key;
         if not (drop_tombstones && Fact.is_tombstone f) then out := f :: !out
       end)
-    t;
-  Array.of_list (List.rev !out)
+    t.facts;
+  make (Array.of_list (List.rev !out))
 
 let serialize t =
-  let body = Buffer.create (64 * Array.length t) in
-  Varint.write body (Array.length t);
-  Array.iter (fun f -> Fact.encode body f) t;
+  let body = Buffer.create (64 * Array.length t.facts) in
+  Varint.write body (Array.length t.facts);
+  Array.iter (fun f -> Fact.encode body f) t.facts;
   let payload = Buffer.contents body in
   let out = Buffer.create (String.length payload + 8) in
   Varint.write out (String.length payload);

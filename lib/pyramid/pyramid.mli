@@ -61,7 +61,29 @@ val elide_range : t -> seq:int64 -> lo:int -> hi:int -> unit
 
 val find : ?snapshot:int64 -> t -> string -> string option
 (** Latest live value for a key: tombstoned and elided facts read as
-    absent. *)
+    absent. Patches whose key fence or bloom filter excludes the key are
+    skipped without a search. *)
+
+val find_naive : ?snapshot:int64 -> t -> string -> string option
+(** Reference implementation of {!find} that probes every patch with the
+    list-building [Patch.find]. Exists so tests and the metadata
+    micro-benchmark can compare the fenced fast path against it; results
+    are always identical. *)
+
+val find_run :
+  ?snapshot:int64 -> t -> n:int -> key_of:(int -> string) -> index:(string -> int) ->
+  Fact.t option array
+(** Batched lookup for [n] consecutive keys: one lower_bound then a
+    sequential walk per patch instead of [n] independent searches.
+    [key_of i] is slot [i]'s key (ascending in [i]); [index] maps a
+    stored key back to its slot (anything outside [0, n) is ignored).
+    Returns the latest in-snapshot fact per slot with retractions NOT
+    applied — pass each slot through {!resolve_fact} if liveness
+    matters. *)
+
+val resolve_fact : ?snapshot:int64 -> t -> Fact.t option -> string option
+(** Apply tombstone/elide filtering to a looked-up fact (e.g. a
+    {!find_run} slot), yielding its live value. *)
 
 val find_ignoring_retractions : ?snapshot:int64 -> t -> string -> string option
 (** The paper's relaxed consistency mode: "readers are allowed to run in a
@@ -73,6 +95,11 @@ val iter_live : ?snapshot:int64 -> t -> (key:string -> value:string -> unit) -> 
 
 val range : ?snapshot:int64 -> t -> lo:string -> hi:string -> (string * string) list
 (** Live (key, value) pairs with [lo <= key <= hi]. *)
+
+val exists_live_in_range : ?snapshot:int64 -> t -> lo:string -> hi:string -> bool
+(** Does any key in [lo, hi] resolve to a live value? Equivalent to
+    [range t ~lo ~hi <> []] but walks only the facts inside each
+    overlapping patch's fence instead of merging the whole pyramid. *)
 
 (** {1 Maintenance} *)
 
@@ -104,6 +131,11 @@ val max_seq : t -> int64
 
 val patches : t -> Patch.t list
 (** Shallowest first; for the segment writer to persist. *)
+
+val probe_stats : t -> int * int * int
+(** [(probes, fence_skips, bloom_skips)] since creation: patch consults
+    attempted by the lookup paths, and how many were rejected by the key
+    fence or the bloom filter without a search. *)
 
 val replace_patches : t -> Patch.t list -> unit
 (** Install persisted patches at recovery (shallowest first). *)

@@ -191,13 +191,14 @@ let replicate_once t volume k =
     | Some _ ->
       changed_blocks st (mediums_between st ~from_medium:new_medium ~until:prev_medium)
     | None ->
-      (* initial sync: every block the volume actually holds *)
+      (* initial sync: every block the volume actually holds, scanned as
+         one batched range resolution instead of per-block chain walks *)
+      let refs =
+        Purity_core.State.resolve_range st ~medium:new_medium ~block:0 ~nblocks:size
+      in
       let acc = ref [] in
       for b = size - 1 downto 0 do
-        if Medium.resolve st.State.medium_table new_medium ~block:b <> [] then
-          match Purity_core.State.resolve_block st ~medium:new_medium ~block:b with
-          | Some _ -> acc := b :: !acc
-          | None -> ()
+        match refs.(b) with Some _ -> acc := b :: !acc | None -> ()
       done;
       !acc
   in

@@ -373,6 +373,224 @@ let test_pyr_range () =
     [ ("banana", "banana"); ("cherry", "cherry") ]
     r
 
+(* ---------- metadata fast path: fences, blooms, batched runs ---------- *)
+
+let test_patch_bloom_fences () =
+  let p =
+    Patch.of_facts (List.init 100 (fun i -> mk (Printf.sprintf "k%03d" i) "v" (Int64.of_int (i + 1))))
+  in
+  check bool "large patch carries a bloom" true (Patch.has_bloom p);
+  check bool "fence admits interior key" true (Patch.fence_admits p "k050");
+  check bool "fence rejects below" false (Patch.fence_admits p "a");
+  check bool "fence rejects above" false (Patch.fence_admits p "z");
+  check bool "bloom admits member" true (Patch.bloom_admits p "k042");
+  check bool "fence overlap" true (Patch.fence_overlaps p ~lo:"k090" ~hi:"zzz");
+  check bool "fence no overlap" false (Patch.fence_overlaps p ~lo:"l" ~hi:"m");
+  (* a tiny patch has no bloom and must admit everything *)
+  let small = Patch.of_facts [ mk "a" "1" 1L ] in
+  check bool "small patch: no bloom" false (Patch.has_bloom small);
+  check bool "small patch admits any key" true (Patch.bloom_admits small "whatever")
+
+let test_patch_find_latest_at () =
+  let p = Patch.of_facts [ mk "k" "v1" 1L; mk "k" "v2" 5L; mk "k" "v3" 9L; mk "z" "w" 3L ] in
+  let value_at snap =
+    Option.map (fun f -> Option.get f.Fact.value) (Patch.find_latest_at p "k" ~snapshot:snap)
+  in
+  check str_opt "latest" (Some "v3") (value_at 100L);
+  check str_opt "mid" (Some "v2") (value_at 7L);
+  check str_opt "exact" (Some "v1") (value_at 1L);
+  check str_opt "before" None (value_at 0L);
+  check bool "absent key" true (Patch.find_latest_at p "nope" ~snapshot:100L = None)
+
+let test_probe_counters_and_skips () =
+  let p = Pyramid.create ~memtable_flush_count:1_000_000 ~policy:Pyramid.Tombstones ~name:"t" () in
+  let seq = ref 0L in
+  (* two disjoint-key patches, big enough for blooms *)
+  for i = 0 to 63 do
+    seq := Int64.add !seq 1L;
+    Pyramid.insert p ~seq:!seq ~key:(Printf.sprintf "a%04d" i) ~value:"x"
+  done;
+  Pyramid.flush p;
+  for i = 0 to 31 do
+    seq := Int64.add !seq 1L;
+    Pyramid.insert p ~seq:!seq ~key:(Printf.sprintf "b%04d" i) ~value:"y"
+  done;
+  Pyramid.flush p;
+  (* auto-compaction may have tiered the two flushes into one patch, so
+     only assert patch-count-independent lower bounds *)
+  let p0, f0, _ = Pyramid.probe_stats p in
+  ignore (Pyramid.find p "a0007");
+  ignore (Pyramid.find p "zzzz");
+  (* "zzzz" is above every fence -> at least one fence skip *)
+  let p1, f1, b1 = Pyramid.probe_stats p in
+  check bool "probes counted" true (p1 - p0 >= 2);
+  check bool "fence skips counted" true (f1 - f0 >= 1);
+  (* a key inside a fence but absent: the bloom rejects it (with ~1%
+     false-positive slack, so probe several) *)
+  for i = 0 to 49 do
+    ignore (Pyramid.find p (Printf.sprintf "a%04d-absent" i))
+  done;
+  let _, _, b2 = Pyramid.probe_stats p in
+  check bool "bloom skips counted" true (b2 - b1 >= 40);
+  check bool "results unaffected" true
+    (Pyramid.find p "a0007" = Some "x" && Pyramid.find p "zzzz" = None)
+
+let test_exists_live_in_range () =
+  let p = tomb_pyramid () in
+  List.iteri
+    (fun i k -> Pyramid.insert p ~seq:(Int64.of_int (i + 1)) ~key:k ~value:k)
+    [ "apple"; "banana"; "cherry" ];
+  Pyramid.delete p ~seq:10L ~key:"banana";
+  Pyramid.flush p;
+  let agree ~lo ~hi =
+    check bool
+      (Printf.sprintf "exists agrees with range on [%s,%s]" lo hi)
+      (Pyramid.range p ~lo ~hi <> [])
+      (Pyramid.exists_live_in_range p ~lo ~hi)
+  in
+  agree ~lo:"a" ~hi:"z";
+  agree ~lo:"b" ~hi:"bz";
+  (* banana is deleted: live-exists must say no *)
+  agree ~lo:"aa" ~hi:"az";
+  agree ~lo:"d" ~hi:"z"
+
+let test_elide_snapshot_indexed () =
+  (* several elides at distinct seqs; snapshot reads must respect exactly
+     the entries committed by then (exercises the eseq index) *)
+  let p = elide_pyramid () in
+  for m = 0 to 9 do
+    Pyramid.insert p ~seq:(Int64.of_int (m + 1)) ~key:(Printf.sprintf "%d:0" m) ~value:"x"
+  done;
+  Pyramid.elide_id p ~seq:20L 2;
+  Pyramid.elide_id p ~seq:30L 5;
+  Pyramid.elide_id p ~seq:40L 7;
+  check str_opt "snap 15: 2 alive" (Some "x") (Pyramid.find ~snapshot:15L p "2:0");
+  check str_opt "snap 20: 2 dead" None (Pyramid.find ~snapshot:20L p "2:0");
+  check str_opt "snap 25: 5 alive" (Some "x") (Pyramid.find ~snapshot:25L p "5:0");
+  check str_opt "snap 35: 5 dead, 7 alive" None (Pyramid.find ~snapshot:35L p "5:0");
+  check str_opt "snap 35: 7 alive" (Some "x") (Pyramid.find ~snapshot:35L p "7:0");
+  check str_opt "snap 40: 7 dead" None (Pyramid.find ~snapshot:40L p "7:0");
+  (* a later elide invalidates the index; rebuilt answers stay right *)
+  Pyramid.elide_id p ~seq:50L 9;
+  check str_opt "snap 45 after rebuild: 9 alive" (Some "x") (Pyramid.find ~snapshot:45L p "9:0");
+  check str_opt "snap 50 after rebuild: 9 dead" None (Pyramid.find ~snapshot:50L p "9:0")
+
+let pyramid_ops_gen =
+  QCheck.Gen.(
+    list_size (0 -- 150)
+      (oneof
+         [
+           map
+             (fun (k, v) -> `Insert (k, v))
+             (pair (string_size ~gen:(char_range 'a' 'f') (1 -- 3)) (int_bound 100));
+           map (fun k -> `Delete k) (string_size ~gen:(char_range 'a' 'f') (1 -- 3));
+           return `Flush;
+           return `Merge;
+           return `Flatten;
+         ]))
+
+let apply_ops p ops =
+  let seq = ref 0L in
+  List.iter
+    (function
+      | `Insert (k, v) ->
+        seq := Int64.add !seq 1L;
+        Pyramid.insert p ~seq:!seq ~key:k ~value:(string_of_int v)
+      | `Delete k ->
+        seq := Int64.add !seq 1L;
+        Pyramid.delete p ~seq:!seq ~key:k
+      | `Flush -> Pyramid.flush p
+      | `Merge -> ignore (Pyramid.merge_step p)
+      | `Flatten -> Pyramid.flatten p)
+    ops;
+  !seq
+
+let prop_fast_find_equals_naive =
+  (* the bloom-fenced lookup must be bit-identical to the per-patch scan,
+     for present keys, absent keys and every snapshot *)
+  QCheck.Test.make ~name:"fenced find = naive find (keys x snapshots)" ~count:150
+    (QCheck.make pyramid_ops_gen)
+    (fun ops ->
+      let p = Pyramid.create ~memtable_flush_count:8 ~policy:Pyramid.Tombstones ~name:"t" () in
+      let max_seq = apply_ops p ops in
+      let keys =
+        (* the op alphabet, plus keys no op can generate *)
+        List.concat_map (fun a -> List.map (fun b -> a ^ b) [ ""; "a"; "f"; "zz" ])
+          [ "a"; "b"; "c"; "d"; "e"; "f"; "g" ]
+      in
+      let snapshots =
+        [ 0L; 1L; Int64.div max_seq 2L; max_seq; Int64.add max_seq 5L; Int64.max_int ]
+      in
+      List.for_all
+        (fun key ->
+          List.for_all
+            (fun snapshot ->
+              Pyramid.find ~snapshot p key = Pyramid.find_naive ~snapshot p key)
+            snapshots)
+        keys)
+
+let prop_find_run_equals_point =
+  (* batched range lookup = per-key point lookup over a sliding window *)
+  QCheck.Test.make ~name:"find_run = per-key find" ~count:150
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (0 -- 120)
+           (oneof
+              [
+                map (fun (b, v) -> `Insert (b, v)) (pair (int_bound 30) (int_bound 100));
+                map (fun b -> `Delete b) (int_bound 30);
+                return `Flush;
+                return `Merge;
+              ])))
+    (fun ops ->
+      let key_of_block b = Printf.sprintf "%04d" b in
+      let p = Pyramid.create ~memtable_flush_count:16 ~policy:Pyramid.Tombstones ~name:"t" () in
+      let seq = ref 0L in
+      List.iter
+        (function
+          | `Insert (b, v) ->
+            seq := Int64.add !seq 1L;
+            Pyramid.insert p ~seq:!seq ~key:(key_of_block b) ~value:(string_of_int v)
+          | `Delete b ->
+            seq := Int64.add !seq 1L;
+            Pyramid.delete p ~seq:!seq ~key:(key_of_block b)
+          | `Flush -> Pyramid.flush p
+          | `Merge -> ignore (Pyramid.merge_step p))
+        ops;
+      let n = 12 in
+      List.for_all
+        (fun base ->
+          let run =
+            Pyramid.find_run p ~n
+              ~key_of:(fun i -> key_of_block (base + i))
+              ~index:(fun key -> int_of_string key - base)
+          in
+          List.for_all
+            (fun i ->
+              Pyramid.resolve_fact p run.(i) = Pyramid.find p (key_of_block (base + i)))
+            (List.init n Fun.id))
+        [ 0; 7; 25 ])
+
+let prop_merge_many_equals_fold =
+  QCheck.Test.make ~name:"pairwise merge_many = left-fold merge" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (0 -- 8)
+           (list_size (0 -- 20)
+              (pair (string_size ~gen:(char_range 'a' 'd') (1 -- 2)) (int_bound 20)))))
+    (fun patch_specs ->
+      let patches =
+        List.map
+          (fun spec ->
+            Patch.of_facts
+              (List.map (fun (k, s) -> mk k (k ^ string_of_int s) (Int64.of_int (s + 1))) spec))
+          patch_specs
+      in
+      let fast = Patch.merge_many patches in
+      let slow = List.fold_left Patch.merge Patch.empty patches in
+      List.length (Patch.to_list fast) = List.length (Patch.to_list slow)
+      && List.for_all2 Fact.equal (Patch.to_list fast) (Patch.to_list slow))
+
 let prop_pyramid_matches_model =
   (* Pyramid vs a naive Map model under random insert/delete/flush/merge. *)
   QCheck.Test.make ~name:"pyramid agrees with naive map model" ~count:150
@@ -453,6 +671,13 @@ let () =
           Alcotest.test_case "iter_live ordered" `Quick test_pyr_iter_live_ordered;
           Alcotest.test_case "range" `Quick test_pyr_range;
           QCheck_alcotest.to_alcotest prop_pyramid_matches_model;
+          Alcotest.test_case "patch fences + bloom" `Quick test_patch_bloom_fences;
+          Alcotest.test_case "patch find_latest_at" `Quick test_patch_find_latest_at;
+          Alcotest.test_case "probe counters + skips" `Quick test_probe_counters_and_skips;
+          Alcotest.test_case "exists_live_in_range" `Quick test_exists_live_in_range;
+          QCheck_alcotest.to_alcotest prop_fast_find_equals_naive;
+          QCheck_alcotest.to_alcotest prop_find_run_equals_point;
+          QCheck_alcotest.to_alcotest prop_merge_many_equals_fold;
         ] );
       ( "elision",
         [
@@ -465,5 +690,6 @@ let () =
           Alcotest.test_case "table collapses" `Quick test_elide_table_collapses;
           Alcotest.test_case "delete raises" `Quick test_elide_delete_raises;
           Alcotest.test_case "elide raises on tombstone table" `Quick test_tombstone_elide_raises;
+          Alcotest.test_case "snapshot via eseq index" `Quick test_elide_snapshot_indexed;
         ] );
     ]

@@ -323,6 +323,40 @@ let test_array_stats_match_registry () =
     | Some pid -> List.exists (fun s -> Span.id s = pid) (by_name "write")
     | None -> false)
 
+let test_metadata_hotpath_counters () =
+  (* smoke: after a mixed write/read workload with flushed patches, the
+     metadata fast-path counters must all have moved — probes attempted,
+     fences/blooms actually skipping work, and the mapping cache both
+     missing (cold) and hitting (warm re-read) *)
+  let module Fa = Purity_core.Flash_array in
+  let clock = Clock.create () in
+  let cfg = { Fa.default_config with Fa.memtable_flush = 64 } in
+  let a = Fa.create ~config:cfg ~clock () in
+  (match Fa.create_volume a "v" ~blocks:8192 with Ok () -> () | Error _ -> assert false);
+  let data = String.init (64 * 512) (fun i -> Char.chr (i land 0xff)) in
+  for i = 0 to 7 do
+    match await clock (Fa.write a ~volume:"v" ~block:(i * 64) data) with
+    | Ok () -> ()
+    | Error _ -> assert false
+  done;
+  (* cold read (cache misses), warm re-read (cache hits), and a thin
+     never-written block far above the written range (fence skip) *)
+  ignore (await clock (Fa.read a ~volume:"v" ~block:0 ~nblocks:64));
+  ignore (await clock (Fa.read a ~volume:"v" ~block:0 ~nblocks:64));
+  ignore (await clock (Fa.read a ~volume:"v" ~block:8000 ~nblocks:8));
+  let snap = Registry.snapshot (Fa.telemetry a) in
+  let reg_int key =
+    match Registry.find snap key with
+    | Some (Registry.Int n) -> n
+    | _ -> Alcotest.failf "missing int metric %s" key
+  in
+  check bool "patch probes attempted" true (reg_int "pyramid/blocks_probes" > 0);
+  check bool "fences/blooms skipped work" true
+    (reg_int "pyramid/blocks_fence_skips" + reg_int "pyramid/blocks_bloom_skips" > 0);
+  check bool "mapping cache missed cold" true (reg_int "read_path/map_cache_misses" > 0);
+  check bool "mapping cache hit warm" true (reg_int "read_path/map_cache_hits" > 0);
+  check bool "mapping cache populated" true (reg_int "read_path/map_cache_entries" > 0)
+
 let test_failover_resets_registry () =
   let module Fa = Purity_core.Flash_array in
   let clock = Clock.create () in
@@ -382,6 +416,8 @@ let () =
         [
           Alcotest.test_case "stats match registry" `Quick
             test_array_stats_match_registry;
+          Alcotest.test_case "metadata hot-path counters" `Quick
+            test_metadata_hotpath_counters;
           Alcotest.test_case "failover resets registry" `Quick
             test_failover_resets_registry;
         ] );
