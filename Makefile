@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test torture bench bench-micro clean
+.PHONY: all check test torture bench bench-micro bench-kernels clean
 
 all:
 	dune build
@@ -24,6 +24,12 @@ bench:
 # hot-path before/after rows); writes BENCH_Micro.json.
 bench-micro:
 	dune exec bench/main.exe -- micro
+
+# Only the data-plane kernel rows (ref vs word-at-a-time CRC32c /
+# GF(256) / RS / LZ / fingerprint + the composed segment fill); writes
+# BENCH_Kernels.json.
+bench-kernels:
+	dune exec bench/main.exe -- kernels
 
 clean:
 	dune clean

@@ -1,0 +1,281 @@
+(* Data-plane kernels, ref vs fast (wall clock): the word-at-a-time
+   CRC32c / GF(256) / RS-encode / LZ / fingerprint kernels against the
+   byte-at-a-time reference implementations they replaced, plus the
+   composed segment-fill pipeline (fingerprint -> compress -> frame+CRC ->
+   RS parity) with and without the reused scratch arena. Runs inside the
+   Micro section so its rows land in BENCH_Micro.json next to the other
+   host-CPU numbers; `main.exe -- kernels` runs it standalone.
+
+   Every fast kernel is asserted bit-identical to its reference on the
+   bench inputs before anything is timed (the qcheck suites prove the
+   same over random inputs). *)
+
+module Rng = Purity_util.Rng
+module Crc32c = Purity_util.Crc32c
+module Xxhash = Purity_util.Xxhash
+module Kernel_stats = Purity_util.Kernel_stats
+module Varint = Purity_util.Varint
+module Gf256 = Purity_erasure.Gf256
+module Rs = Purity_erasure.Reed_solomon
+module Lz = Purity_compress.Lz
+module Cblock = Purity_compress.Cblock
+module Json = Purity_telemetry.Json
+
+let rng = Rng.create ~seed:0xCAFEL
+
+let random_32k = Rng.bytes rng 32768
+
+let textish n tag =
+  let b = Buffer.create n in
+  while Buffer.length b < n do
+    Buffer.add_string b
+      (Printf.sprintf "row|id=%08d|st=ACTIVE |bal=000042|name=customer_%04d|" tag
+         (tag mod 7919))
+  done;
+  Buffer.sub b 0 n
+
+let text_32k = textish 32768 12345678
+
+(* Processor time is plenty at these op counts (same harness as the
+   metadata hot-path experiment). *)
+let time_ops ?(warmup = 200) ?(batch = 50) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  let start = Sys.time () in
+  let n = ref 0 in
+  while Sys.time () -. start < 0.25 do
+    for _ = 1 to batch do
+      f ()
+    done;
+    n := !n + batch
+  done;
+  let elapsed = Sys.time () -. start in
+  let ops = float_of_int !n in
+  (ops /. elapsed, elapsed *. 1e9 /. ops)
+
+let emit name ~bytes (ops_s, ns_op) =
+  let mb_s = float_of_int bytes *. ops_s /. 1e6 in
+  Bench_util.emit_row ~kind:"bench_micro"
+    [
+      ("name", Json.Str name);
+      ("ns_per_op", Json.Float ns_op);
+      ("ops_per_sec", Json.Float ops_s);
+      ("mb_per_s", Json.Float mb_s);
+    ];
+  Printf.printf "  %-34s %12.0f ns/op %12.0f MB/s\n%!" name ns_op mb_s;
+  mb_s
+
+(* ---------- the composed segment-fill pipeline ----------
+
+   A segio's worth of application blocks through the full reduction
+   pipeline: per-512B dedup fingerprints, compression, cblock framing
+   with CRC, then RS parity over the filled payload rows — the ref
+   variant exactly as the write path used to do it (fresh buffers and
+   byte kernels per block), the fast variant on the scratch arena and the
+   word kernels. Both produce the same bytes. *)
+
+let fill_k = 7
+let fill_m = 2
+let fill_wu = 4096
+let fill_rows_cap = 20
+let fill_cap = fill_k * fill_wu * fill_rows_cap
+let fill_rs = Rs.create ~k:fill_k ~m:fill_m
+
+(* 12 compressible + 4 incompressible 32 KiB blocks *)
+let fill_blocks =
+  Array.init 16 (fun i ->
+      if i mod 4 = 3 then Bytes.to_string (Rng.bytes rng 32768)
+      else textish 32768 (1000000 + (7717 * i)))
+
+let fingerprints_ref b =
+  let bb = Bytes.unsafe_of_string b in
+  for j = 0 to (String.length b / 512) - 1 do
+    ignore (Xxhash.hash63_ref bb ~pos:(j * 512) ~len:512 : int)
+  done
+
+let fingerprints_fast b =
+  let bb = Bytes.unsafe_of_string b in
+  for j = 0 to (String.length b / 512) - 1 do
+    ignore (Xxhash.hash63 bb ~pos:(j * 512) ~len:512 : int)
+  done
+
+let parity_rows encode pos out =
+  let rows = (pos + (fill_k * fill_wu) - 1) / (fill_k * fill_wu) in
+  Array.init rows (fun r ->
+      encode fill_rs
+        (Array.init fill_k (fun c -> Bytes.sub out (((r * fill_k) + c) * fill_wu) fill_wu)))
+
+let fill_ref () =
+  let out = Bytes.make fill_cap '\000' in
+  let pos = ref 0 in
+  Array.iter
+    (fun b ->
+      fingerprints_ref b;
+      let n = String.length b in
+      let c = Lz.compress_ref b in
+      let enc, payload = if String.length c < n then ('\001', c) else ('\000', b) in
+      let buf = Buffer.create (String.length payload + 16) in
+      Varint.write buf n;
+      Buffer.add_char buf enc;
+      Varint.write buf (String.length payload);
+      Buffer.add_int32_le buf
+        (Crc32c.digest_ref (Bytes.unsafe_of_string payload) ~pos:0
+           ~len:(String.length payload));
+      Buffer.add_string buf payload;
+      Buffer.blit buf 0 out !pos (Buffer.length buf);
+      pos := !pos + Buffer.length buf)
+    fill_blocks;
+  (out, !pos, parity_rows Rs.encode_ref !pos out)
+
+let fill_arena = (Lz.create_scratch (), Buffer.create (40 * 1024))
+
+let fill_fast () =
+  let scratch, frame = fill_arena in
+  let out = Bytes.make fill_cap '\000' in
+  let pos = ref 0 in
+  Array.iter
+    (fun b ->
+      fingerprints_fast b;
+      Buffer.clear frame;
+      ignore (Cblock.add_frame ~scratch frame b : int);
+      Buffer.blit frame 0 out !pos (Buffer.length frame);
+      pos := !pos + Buffer.length frame)
+    fill_blocks;
+  (out, !pos, parity_rows Rs.encode !pos out)
+
+let check_equiv () =
+  (* point kernels *)
+  if Crc32c.digest random_32k ~pos:0 ~len:32768 <> Crc32c.digest_ref random_32k ~pos:0 ~len:32768
+  then failwith "kernels: crc32c fast diverges from ref";
+  let gf_fast = Bytes.copy random_32k and gf_ref = Bytes.copy random_32k in
+  Gf256.mul_slice 0x57 ~src:random_32k ~dst:gf_fast;
+  Gf256.mul_slice_ref 0x57 ~src:random_32k ~dst:gf_ref;
+  if gf_fast <> gf_ref then failwith "kernels: gf256 mul_slice fast diverges from ref";
+  let shards = Array.init fill_k (fun _ -> Rng.bytes rng 32768) in
+  if Rs.encode fill_rs shards <> Rs.encode_ref fill_rs shards then
+    failwith "kernels: rs encode fast diverges from ref";
+  if Lz.compress text_32k <> Lz.compress_ref text_32k then
+    failwith "kernels: lz compress fast diverges from ref";
+  let c = Lz.compress_ref text_32k in
+  if Lz.decompress c ~expected_len:32768 <> Lz.decompress_ref c ~expected_len:32768 then
+    failwith "kernels: lz decompress fast diverges from ref";
+  if
+    Xxhash.hash63 random_32k ~pos:0 ~len:32768
+    <> Xxhash.hash63_ref random_32k ~pos:0 ~len:32768
+  then failwith "kernels: hash63 fast diverges from ref";
+  let ro, rn, rp = fill_ref () in
+  let fo, fn, fp = fill_fast () in
+  if rn <> fn || Bytes.sub ro 0 rn <> Bytes.sub fo 0 fn || rp <> fp then
+    failwith "kernels: segment fill fast diverges from ref"
+
+let shape name ok =
+  Printf.printf "  Shape check (%s): %s\n" name (if ok then "HOLDS" else "DIVERGES")
+
+let run_in_section () =
+  (* earlier sections (the metadata hot path builds a 600k-fact index)
+     leave a big major heap behind; compact so their GC tax doesn't land
+     on the allocating kernel loops below *)
+  Gc.compact ();
+  check_equiv ();
+  (* exercise the kernels/<k>_ns telemetry counters under a wall clock,
+     then remove it so the timed loops below pay no per-call clock reads *)
+  Kernel_stats.set_clock (Some (fun () -> int_of_float (Sys.time () *. 1e9)));
+  ignore (fill_fast ());
+  Kernel_stats.set_clock None;
+  let kb k = Printf.sprintf "%s %d calls / %d bytes" k.Kernel_stats.name k.calls k.bytes in
+  Printf.printf "\n  Data-plane kernels (ref = byte-at-a-time, fast = word-at-a-time):\n";
+  Printf.printf "  telemetry: %s\n"
+    (String.concat ", " (List.map kb [ Kernel_stats.crc; Kernel_stats.gf; Kernel_stats.fingerprint ]));
+
+  let crc_ref =
+    time_ops (fun () -> ignore (Crc32c.digest_ref random_32k ~pos:0 ~len:32768 : int32))
+  in
+  let crc_fast =
+    time_ops (fun () -> ignore (Crc32c.digest random_32k ~pos:0 ~len:32768 : int32))
+  in
+  let gf_dst = Bytes.create 32768 in
+  let gf_ref =
+    time_ops (fun () -> Gf256.mul_slice_ref 0x57 ~src:random_32k ~dst:gf_dst)
+  in
+  let gf_fast = time_ops (fun () -> Gf256.mul_slice 0x57 ~src:random_32k ~dst:gf_dst) in
+  let shards = Array.init fill_k (fun _ -> Rng.bytes rng 32768) in
+  let rs_ref =
+    time_ops ~batch:10 (fun () -> ignore (Rs.encode_ref fill_rs shards : Bytes.t array))
+  in
+  let rs_fast =
+    time_ops ~batch:10 (fun () -> ignore (Rs.encode fill_rs shards : Bytes.t array))
+  in
+  let lz_c = Lz.compress_ref text_32k in
+  let lz_ref =
+    time_ops ~batch:10 (fun () ->
+        ignore (Lz.decompress_ref (Lz.compress_ref text_32k) ~expected_len:32768 : string))
+  in
+  let lz_fast =
+    time_ops ~batch:10 (fun () ->
+        ignore (Lz.decompress (Lz.compress text_32k) ~expected_len:32768 : string))
+  in
+  let unz_ref =
+    time_ops (fun () -> ignore (Lz.decompress_ref lz_c ~expected_len:32768 : string))
+  in
+  let unz_fast =
+    time_ops (fun () -> ignore (Lz.decompress lz_c ~expected_len:32768 : string))
+  in
+  let fp_ref =
+    time_ops (fun () -> ignore (Xxhash.hash63_ref random_32k ~pos:0 ~len:32768 : int))
+  in
+  let fp_fast =
+    time_ops (fun () -> ignore (Xxhash.hash63 random_32k ~pos:0 ~len:32768 : int))
+  in
+  let fill_bytes = 16 * 32768 in
+  let fill_ref_t =
+    time_ops ~warmup:20 ~batch:2 (fun () -> ignore (fill_ref () : Bytes.t * int * Bytes.t array array))
+  in
+  let fill_fast_t =
+    time_ops ~warmup:20 ~batch:2 (fun () -> ignore (fill_fast () : Bytes.t * int * Bytes.t array array))
+  in
+  ignore (emit "crc32c-32k-ref" ~bytes:32768 crc_ref : float);
+  ignore (emit "crc32c-32k-fast" ~bytes:32768 crc_fast : float);
+  ignore (emit "gf256-mul-slice-32k-ref" ~bytes:32768 gf_ref : float);
+  ignore (emit "gf256-mul-slice-32k-fast" ~bytes:32768 gf_fast : float);
+  ignore (emit "rs-7+2-encode-32k-ref" ~bytes:(fill_k * 32768) rs_ref : float);
+  ignore (emit "rs-7+2-encode-32k-fast" ~bytes:(fill_k * 32768) rs_fast : float);
+  ignore (emit "lz-roundtrip-32k-text-ref" ~bytes:32768 lz_ref : float);
+  ignore (emit "lz-roundtrip-32k-text-fast" ~bytes:32768 lz_fast : float);
+  ignore (emit "lz-decompress-32k-ref" ~bytes:32768 unz_ref : float);
+  ignore (emit "lz-decompress-32k-fast" ~bytes:32768 unz_fast : float);
+  ignore (emit "fingerprint-32k-ref" ~bytes:32768 fp_ref : float);
+  ignore (emit "fingerprint-32k-fast" ~bytes:32768 fp_fast : float);
+  ignore (emit "segment-fill-16x32k-ref" ~bytes:fill_bytes fill_ref_t : float);
+  ignore (emit "segment-fill-16x32k-fast" ~bytes:fill_bytes fill_fast_t : float);
+  let sp (fast_ops, _) (ref_ops, _) = fast_ops /. ref_ops in
+  let crc_sp = sp crc_fast crc_ref in
+  let gf_sp = sp gf_fast gf_ref in
+  let rs_sp = sp rs_fast rs_ref in
+  let lz_sp = sp lz_fast lz_ref in
+  let unz_sp = sp unz_fast unz_ref in
+  let fp_sp = sp fp_fast fp_ref in
+  let fill_sp = sp fill_fast_t fill_ref_t in
+  Bench_util.emit_row ~kind:"bench_kernels"
+    [
+      ("crc_speedup", Json.Float crc_sp);
+      ("gf_speedup", Json.Float gf_sp);
+      ("rs_encode_speedup", Json.Float rs_sp);
+      ("lz_roundtrip_speedup", Json.Float lz_sp);
+      ("lz_decompress_speedup", Json.Float unz_sp);
+      ("fingerprint_speedup", Json.Float fp_sp);
+      ("segment_fill_speedup", Json.Float fill_sp);
+    ];
+  Printf.printf
+    "\n  speedups: crc %.1fx, gf %.1fx, rs-encode %.1fx, lz roundtrip %.1fx,\n\
+    \  lz decompress %.1fx, fingerprint %.1fx, segment fill %.1fx\n"
+    crc_sp gf_sp rs_sp lz_sp unz_sp fp_sp fill_sp;
+  shape "crc32c fast >= 3x ref, results identical" (crc_sp >= 3.0);
+  shape "gf256/rs-encode fast >= 3x ref, results identical" (gf_sp >= 3.0 && rs_sp >= 3.0);
+  shape "lz compress+decompress fast >= 3x ref, bytes identical" (lz_sp >= 3.0);
+  shape "fingerprint fast >= 3x ref, results identical" (fp_sp >= 3.0);
+  shape "segment fill fast >= 1.5x ref, bytes identical" (fill_sp >= 1.5)
+
+let run () =
+  Bench_util.section "Kernels — word-at-a-time data-plane kernels vs reference (wall clock)";
+  run_in_section ()

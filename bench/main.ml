@@ -21,10 +21,15 @@ let experiments =
     ("e14", "Secondary cache warming", Exp_warming.run);
     ("e15", "Transaction rollback model", Exp_rollback.run);
     ("micro", "CPU micro-benchmarks", Micro.run);
+    ("kernels", "Data-plane kernels, ref vs word-at-a-time", Exp_kernels.run);
   ]
 
+(* `micro` already runs the kernel rows inside its section, so the
+   all-experiments sweep skips the standalone entry. *)
+let all_experiments = List.filter (fun (id, _, _) -> id <> "kernels") experiments
+
 let usage () =
-  print_endline "usage: main.exe [--all | e1 ... e15 | micro]";
+  print_endline "usage: main.exe [--all | e1 ... e15 | micro | kernels]";
   print_endline "experiments:";
   List.iter (fun (id, desc, _) -> Printf.printf "  %-6s %s\n" id desc) experiments
 
@@ -34,7 +39,7 @@ let () =
   | [ _ ] | [ _; "--all" ] ->
     print_endline "Purity reproduction — experiment harness (all experiments)";
     print_endline "Simulated-time results; see EXPERIMENTS.md for paper-vs-measured.";
-    List.iter (fun (_, _, run) -> run ()) experiments
+    List.iter (fun (_, _, run) -> run ()) all_experiments
   | _ :: picks ->
     List.iter
       (fun pick ->

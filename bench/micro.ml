@@ -115,4 +115,9 @@ let run () =
   Printf.printf
     "\n  Note: packed scan vs naive scan shows the benefit of comparing bit\n\
     \  patterns instead of decompressing tuples (paper section 4.9).\n";
+  (* kernels before the metadata hot path: the 600k-fact index that
+     section builds leaves the major heap in a state that taxes the
+     allocating kernel loops (rs-encode drops below its shape floor even
+     after a compact), while the reverse order perturbs neither *)
+  Exp_kernels.run_in_section ();
   Exp_metadata_hotpath.run_in_section ()

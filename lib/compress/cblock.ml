@@ -7,10 +7,10 @@ type t = { logical_len : int; encoding : encoding; payload : string }
 
 let max_logical = 32 * 1024
 
-let of_data data =
+let of_data ?scratch data =
   let n = String.length data in
   if n > max_logical then invalid_arg "Cblock.of_data: larger than 32 KiB";
-  let compressed = Lz.compress data in
+  let compressed = Lz.compress ?scratch data in
   if String.length compressed < n then
     { logical_len = n; encoding = Lz; payload = compressed }
   else { logical_len = n; encoding = Raw; payload = data }
@@ -29,12 +29,41 @@ let encode buf t =
   Varint.write buf t.logical_len;
   Buffer.add_char buf (match t.encoding with Raw -> '\000' | Lz -> '\001');
   Varint.write buf (String.length t.payload);
-  let crc = Crc32c.digest_string t.payload in
-  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand crc 0xFFl)));
-  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 8) 0xFFl)));
-  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 16) 0xFFl)));
-  Buffer.add_char buf (Char.chr (Int32.to_int (Int32.logand (Int32.shift_right_logical crc 24) 0xFFl)));
+  Buffer.add_int32_le buf (Crc32c.digest_string t.payload);
   Buffer.add_string buf t.payload
+
+(* Frame application data directly into [buf] — the same bytes [of_data]
+   followed by [encode] would produce, without materialising the
+   intermediate cblock or its payload string: with a scratch, the
+   compressed bytes go from the LZ scratch buffer straight into the
+   frame. Returns the frame size. *)
+let add_frame ?scratch ?(compress = true) buf data =
+  let n = String.length data in
+  if n > max_logical then invalid_arg "Cblock.add_frame: larger than 32 KiB";
+  let start = Buffer.length buf in
+  let raw () =
+    Varint.write buf n;
+    Buffer.add_char buf '\000';
+    Varint.write buf n;
+    Buffer.add_int32_le buf (Crc32c.digest_string data);
+    Buffer.add_string buf data
+  in
+  (if not compress then raw ()
+   else
+     match scratch with
+     | Some sc ->
+       let clen = Lz.compress_into sc data in
+       if clen < n then begin
+         let pb = Lz.scratch_bytes sc in
+         Varint.write buf n;
+         Buffer.add_char buf '\001';
+         Varint.write buf clen;
+         Buffer.add_int32_le buf (Crc32c.digest pb ~pos:0 ~len:clen);
+         Buffer.add_subbytes buf pb 0 clen
+       end
+       else raw ()
+     | None -> encode buf (of_data data));
+  Buffer.length buf - start
 
 let decode buf ~pos =
   let logical_len, p = Varint.read buf ~pos in
@@ -47,13 +76,7 @@ let decode buf ~pos =
   in
   let payload_len, p = Varint.read buf ~pos:(p + 1) in
   if p + 4 + payload_len > Bytes.length buf then invalid_arg "Cblock.decode: truncated";
-  let crc_stored =
-    let b i = Int32.of_int (Bytes.get_uint8 buf (p + i)) in
-    Int32.logor (b 0)
-      (Int32.logor
-         (Int32.shift_left (b 1) 8)
-         (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
-  in
+  let crc_stored = Bytes.get_int32_le buf p in
   let payload = Bytes.sub_string buf (p + 4) payload_len in
   if Crc32c.digest_string payload <> crc_stored then
     invalid_arg "Cblock.decode: CRC mismatch";

@@ -18,9 +18,10 @@ type t = {
 val max_logical : int
 (** 32 KiB: cblocks never exceed the largest inferred write size. *)
 
-val of_data : string -> t
+val of_data : ?scratch:Lz.scratch -> string -> t
 (** Build a cblock from application data, compressing unless that would
-    expand it. @raise Invalid_argument beyond [max_logical]. *)
+    expand it (through [scratch] when given, so the compressor state is
+    reused). @raise Invalid_argument beyond [max_logical]. *)
 
 val data : t -> string
 (** Recover the application data. *)
@@ -30,6 +31,15 @@ val stored_size : t -> int
 
 val encode : Buffer.t -> t -> unit
 (** Append the frame to a buffer. *)
+
+val add_frame : ?scratch:Lz.scratch -> ?compress:bool -> Buffer.t -> string -> int
+(** [add_frame ?scratch ?compress buf data] frames [data] directly into
+    [buf] — byte-identical to [encode buf (of_data data)] — and returns
+    the frame size. With [scratch], the compressed payload moves from the
+    LZ scratch buffer into the frame without an intermediate string; the
+    write path's zero-allocation fill loop. [compress] defaults to
+    [true]; [false] forces a raw frame (compression disabled in config).
+    @raise Invalid_argument beyond [max_logical]. *)
 
 val decode : bytes -> pos:int -> t * int
 (** [decode buf ~pos] parses one frame, returning it and the offset just

@@ -196,6 +196,7 @@ type t = {
   mutable boot_generation_written : int;
   dedup : Dedup.t;
   dedup_locs : (int, Blockref.t) Hashtbl.t; (* dedup write id -> cblock home *)
+  arena : Arena.t; (* reused compress/frame scratch for the fill loop *)
   read_cache : (int * int, string) Purity_util.Lru.t; (* (segment, off) -> frame *)
   map_cache : (int * int, Blockref.t option) Purity_util.Lru.t;
       (* (medium, block) -> memoized block-pyramid lookup, negative
@@ -246,7 +247,16 @@ let register_derived_telemetry t =
       b);
   Registry.derive_int reg "read_path/map_cache_entries" (fun () ->
       Purity_util.Lru.length t.map_cache);
-  Registry.derive_int reg "trace/dropped_spans" (fun () -> Span.dropped t.tracer)
+  Registry.derive_int reg "trace/dropped_spans" (fun () -> Span.dropped t.tracer);
+  (* data-plane kernel throughput: process-wide cells (the kernels sit
+     below the telemetry library in the dependency order), re-derived
+     into whichever controller registry is current *)
+  List.iter
+    (fun (k : Purity_util.Kernel_stats.kernel) ->
+      Registry.derive_int reg ("kernels/" ^ k.name ^ "_bytes") (fun () -> k.bytes);
+      Registry.derive_int reg ("kernels/" ^ k.name ^ "_calls") (fun () -> k.calls);
+      Registry.derive_int reg ("kernels/" ^ k.name ^ "_ns") (fun () -> k.ns))
+    Purity_util.Kernel_stats.all
 
 let create_over ~config ~clock ~shelf ~boot () =
   let layout =
@@ -308,6 +318,7 @@ let create_over ~config ~clock ~shelf ~boot () =
     boot_generation_written = 0;
     dedup = Dedup.create ~config:config.dedup_config ();
     dedup_locs = Hashtbl.create 1024;
+    arena = Arena.create ();
     read_cache = Purity_util.Lru.create ~capacity:(max 1 config.read_cache_entries);
     map_cache = Purity_util.Lru.create ~capacity:(max 1 config.map_cache_entries);
     write_lat = Registry.histogram tel "write_path/latency_us";
@@ -571,6 +582,21 @@ let store_blob t data =
     seal_current t;
     let w = writer_with_room t ~need in
     match Writer.append_data w data with
+    | Some off -> (Writer.id w, off)
+    | None -> raise Out_of_space)
+
+(* [store_blob] for a frame accumulated in a reusable Buffer (the write
+   path's arena): the bytes blit straight into the segio. *)
+let store_frame t frame =
+  let need = Buffer.length frame + 16 in
+  if need > Layout.payload_capacity t.layout then invalid_arg "store_frame: blob too large";
+  let w = writer_with_room t ~need in
+  match Writer.append_buffer w frame with
+  | Some off -> (Writer.id w, off)
+  | None -> (
+    seal_current t;
+    let w = writer_with_room t ~need in
+    match Writer.append_buffer w frame with
     | Some off -> (Writer.id w, off)
     | None -> raise Out_of_space)
 

@@ -44,18 +44,19 @@ let decode_intent s =
 let put_block t ~medium ~block (r : Blockref.t) =
   ignore (put t t.blocks ~key:(Keys.block_key ~medium ~block) ~value:(Blockref.encode r))
 
-(* Store one fresh run of blocks as a cblock; returns its home. *)
+(* Store one fresh run of blocks as a cblock; returns its home. The
+   frame is built in the controller's arena — compression runs in the
+   reused LZ scratch and the frame bytes blit from the reused Buffer
+   straight into the segio, so storing a block allocates nothing. *)
 let store_run t data =
-  let cb =
-    if t.cfg.compression then Cblock.of_data data
-    else { Cblock.logical_len = String.length data; encoding = Cblock.Raw; payload = data }
+  let frame = t.arena.Arena.frame in
+  Buffer.clear frame;
+  let stored_len =
+    Cblock.add_frame ~scratch:t.arena.Arena.lz ~compress:t.cfg.compression frame data
   in
-  let buf = Buffer.create (String.length data + 16) in
-  Cblock.encode buf cb;
-  let frame = Buffer.contents buf in
-  let segment, off = store_blob t frame in
-  Registry.add t.ws.stored_bytes (String.length frame);
-  { Blockref.segment; off; stored_len = String.length frame; index = 0 }
+  let segment, off = store_frame t frame in
+  Registry.add t.ws.stored_bytes stored_len;
+  { Blockref.segment; off; stored_len; index = 0 }
 
 (* Apply one <=32 KiB chunk: dedup the duplicate runs, store the rest. *)
 let apply_chunk t ~medium ~first_block data =

@@ -33,7 +33,7 @@ let zero_stats =
 
 type t = {
   cfg : config;
-  index : (int64, source list) Hashtbl.t; (* truncated hash -> recorded anchors *)
+  index : (int, source list) Hashtbl.t; (* truncated hash -> recorded anchors *)
   window : (int, string) Lru.t; (* write_id -> payload, the recency window *)
   mutable next_write_id : int;
   mutable stats : stats;
@@ -50,11 +50,15 @@ let create ?(config = default_config) () =
 
 let stats t = t.stats
 
+(* Unboxed fingerprint: hash63 probes the index with a plain [int] key,
+   so the hot register/lookup loop never boxes an [int64]. Collisions are
+   verified away byte-wise below, exactly as the paper requires of its
+   <= 64-bit hashes (§4.7). *)
 let block_hash t data block =
   let h =
-    Xxhash.hash (Bytes.unsafe_of_string data) ~pos:(block * block_size) ~len:block_size
+    Xxhash.hash63 (Bytes.unsafe_of_string data) ~pos:(block * block_size) ~len:block_size
   in
-  Xxhash.truncate h ~bits:t.cfg.hash_bits
+  Xxhash.truncate_int h ~bits:t.cfg.hash_bits
 
 let blocks_of data = String.length data / block_size
 
@@ -85,14 +89,23 @@ let register t data =
 let payload t ~write_id = Lru.find t.window write_id
 let forget t ~write_id = Lru.remove t.window write_id
 
+(* Word-wise verify: 512-byte blocks compare as 64 aligned word loads.
+   The XOR of the two words is tested through its two 32-bit halves —
+   [Int64.to_int] alone would drop bit 63. *)
 let blocks_equal data b1 src_data b2 =
-  let rec go i =
-    i >= block_size
-    || String.unsafe_get data ((b1 * block_size) + i)
-       = String.unsafe_get src_data ((b2 * block_size) + i)
-       && go (i + 1)
-  in
-  (b2 + 1) * block_size <= String.length src_data && go 0
+  (b2 + 1) * block_size <= String.length src_data
+  &&
+  let a = Bytes.unsafe_of_string data and b = Bytes.unsafe_of_string src_data in
+  let pa = b1 * block_size and pb = b2 * block_size in
+  let i = ref 0 in
+  let eq = ref true in
+  while !eq && !i < block_size do
+    let x = Int64.logxor (Bytes.get_int64_le a (pa + !i)) (Bytes.get_int64_le b (pb + !i)) in
+    if Int64.to_int x <> 0 || Int64.to_int (Int64.shift_right_logical x 32) <> 0 then
+      eq := false;
+    i := !i + 8
+  done;
+  !eq
 
 (* Extend a verified anchor match forwards and backwards. *)
 let extend data nblocks ~at ~(src : source) src_data =

@@ -22,7 +22,12 @@ val m : t -> int
 
 val encode : t -> bytes array -> bytes array
 (** [encode t data] takes [k] equal-length data shards and returns the [m]
-    parity shards. *)
+    parity shards. One pass over the data shards, word-at-a-time GF(256)
+    multiply-accumulate with cached per-coefficient tables. *)
+
+val encode_ref : t -> bytes array -> bytes array
+(** The original row-major byte-at-a-time encode, retained as the
+    reference {!encode} is property-tested against. Same results. *)
 
 val encode_string : t -> string -> shard_size:int -> string array
 (** Convenience: split a buffer into [k] shards of [shard_size] (padding

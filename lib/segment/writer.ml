@@ -62,6 +62,20 @@ let append_data t s =
     Some off
   end
 
+(* Same as [append_data], but blitting straight out of a caller's frame
+   buffer — the write path reuses one Buffer per controller and lands
+   frames here without an intermediate string. *)
+let append_buffer t frame =
+  if t.sealed then invalid_arg "Writer.append_buffer: sealed";
+  let n = Buffer.length frame in
+  if n > remaining t then None
+  else begin
+    let off = t.data_len in
+    Buffer.blit frame 0 t.buffer off n;
+    t.data_len <- off + n;
+    Some off
+  end
+
 let append_log t ~seq record =
   if t.sealed then invalid_arg "Writer.append_log: sealed";
   let frame = Buffer.create (String.length record + 12) in
@@ -100,18 +114,15 @@ let decode_log_region region =
   done;
   List.rev !acc
 
-(* Assemble per-shard write-unit chunks for one row. Data columns take the
-   payload slice; parity columns get the RS encoding of the row. *)
-let row_chunks t ~row ~payload_len =
+(* Assemble per-shard write-unit chunks for one row. Data columns slice
+   the segio buffer in place — it is allocated zeroed at payload capacity
+   and only ever written up to [payload_len], so the slices carry the
+   zero padding for free (no per-chunk make + blit). Parity columns get
+   the RS encoding of the row; parity buffers are fresh per row because
+   the simulated drive writes hold them until completion. *)
+let row_chunks t ~row =
   let { Layout.k; write_unit = wu; _ } = t.layout in
-  let data =
-    Array.init k (fun c ->
-        let start = ((row * k) + c) * wu in
-        let chunk = Bytes.make wu '\000' in
-        let avail = max 0 (min wu (payload_len - start)) in
-        if avail > 0 then Bytes.blit t.buffer start chunk 0 avail;
-        chunk)
-  in
+  let data = Array.init k (fun c -> Bytes.sub t.buffer (((row * k) + c) * wu) wu) in
   let parity = Rs.encode t.rs data in
   Array.append data parity
 
@@ -150,7 +161,7 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) ?tracer ?par
           "rs_encode")
       tracer
   in
-  let row_data = Array.init rows_used (fun row -> row_chunks t ~row ~payload_len) in
+  let row_data = Array.init rows_used (fun row -> row_chunks t ~row) in
   Option.iter (fun s -> Span.finish s) encode_span;
   let member_chunks i =
     List.init rows_used (fun row ->

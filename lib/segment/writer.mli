@@ -41,6 +41,11 @@ val append_data : t -> string -> int option
     [None] if the segio cannot fit them (caller seals and opens a new
     segment). *)
 
+val append_buffer : t -> Buffer.t -> int option
+(** {!append_data} for a frame accumulated in a [Buffer.t]: the bytes
+    blit straight from the buffer into the segio, so a caller reusing one
+    frame buffer appends without building a string. *)
+
 val append_log : t -> seq:int64 -> string -> bool
 (** Append one log record from the back; false when it does not fit. The
     record is length-framed so recovery can reparse the log region. *)

@@ -1,0 +1,9 @@
+(* Unchecked word access for the data-plane kernels. The externals live
+   in the .mli so call sites compile them as inline primitives — see the
+   interface for the reasoning and the bounds contract. *)
+
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external unsafe_get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external swap64 : int64 -> int64 = "%bswap_int64"
+external swap32 : int32 -> int32 = "%bswap_int32"

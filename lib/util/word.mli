@@ -1,0 +1,31 @@
+(** Unchecked word access for the data-plane kernels.
+
+    The word-at-a-time kernels validate their ranges once on entry and
+    then touch every word of the buffer; these primitives skip the
+    per-access bounds check the [Bytes] accessors repeat. They are
+    declared [external] in this interface on purpose: compiler
+    primitives compile inline at every call site, where an ordinary
+    cross-module function would cost a call and box its [int64] result
+    under the non-flambda ocamlopt this repo builds with. Accesses are
+    native-endian — each kernel pairs them with a local
+    [if Sys.big_endian then swap64 ...] wrapper (small same-module
+    functions do inline), mirroring how the stdlib builds its checked
+    little-endian accessors.
+
+    {b The caller owns the bounds proof}: reading or writing past the
+    buffer is undefined behaviour, exactly as with [Bytes.unsafe_get]. *)
+
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+(** Load 8 native-endian bytes. Requires [i >= 0 && i + 8 <= length b]. *)
+
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+(** Store 8 native-endian bytes. Requires [i >= 0 && i + 8 <= length b]. *)
+
+external unsafe_get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+(** Load 4 native-endian bytes. Requires [i >= 0 && i + 4 <= length b]. *)
+
+external swap64 : int64 -> int64 = "%bswap_int64"
+(** Byte-swap, for little-endian semantics on big-endian hosts. *)
+
+external swap32 : int32 -> int32 = "%bswap_int32"
+(** Byte-swap, for little-endian semantics on big-endian hosts. *)

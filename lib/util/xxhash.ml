@@ -75,3 +75,127 @@ let hash_string ?seed s =
 let truncate h ~bits =
   if bits >= 64 then h
   else Int64.logand h (Int64.sub (Int64.shift_left 1L bits) 1L)
+
+(* ---------- hash63: the dedup fingerprint kernel ----------
+
+   xxh64 proper cannot be computed in untagged [int]s — its 64-bit
+   rotations pull bit 63 back in, and a native int only has 63. Dedup does
+   not need xxh64 specifically (the paper stores hashes "no larger than 64
+   bits" and always byte-verifies), so fingerprinting gets its own
+   xxh-style kernel defined directly over the native int width: all
+   arithmetic wraps mod 2^63 for free, and nothing boxes. Like xxh64 it
+   runs four independent lanes over 32-byte stripes — the mix chain is
+   multiply-latency-bound, so one serial lane would leave the multiplier
+   idle between folds. Each fold consumes a whole 63-bit-truncated word:
+   an unchecked load plus [Int64.to_int] on the fast path, eight byte
+   loads assembled with shifts in [hash63_ref] (a shift past bit 62 wraps
+   mod 2^63 exactly as the truncated load does, so the two agree bit for
+   bit — the property suite keeps them that way). *)
+
+(* little-endian view over Word's unchecked native-endian load; local so
+   the non-flambda inliner folds it into the loops *)
+let[@inline always] get64_le b i =
+  if Sys.big_endian then Word.swap64 (Word.unsafe_get_64 b i) else Word.unsafe_get_64 b i
+
+(* odd multipliers below 2^62 so the literals are portable native ints *)
+let q1 = 0x2545F4914F6CDD1D
+let q2 = 0x27220A95FE8DB6E5
+let q3 = 0x165667B19E3779F9
+
+(* fold one word into a lane (63-bit rotate + multiply) *)
+let mix63 h w =
+  let h = h lxor (w * q1) in
+  let h = (h lsl 27) lor (h lsr 36) in
+  h * q2
+
+let finalize63 h =
+  let h = (h lxor (h lsr 33)) * q1 in
+  let h = (h lxor (h lsr 29)) * q3 in
+  h lxor (h lsr 32)
+
+(* merge the four lane states ahead of finalization *)
+let merge63 h1 h2 h3 h4 =
+  let a = h1 lxor ((h2 lsl 24) lor (h2 lsr 39)) in
+  let b = h3 lxor ((h4 lsl 41) lor (h4 lsr 22)) in
+  finalize63 ((a * q1) lxor ((b lsl 13) lor (b lsr 50)))
+
+let hash63 ?(seed = 0) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Xxhash.hash63";
+  let t0 = Kernel_stats.tick () in
+  let stop = pos + len in
+  let h1 = ref (seed + (len * q2) + q3)
+  and h2 = ref ((seed lxor q1) + (len * q3) + q2)
+  and h3 = ref (seed + (len * q1) + q2)
+  and h4 = ref ((seed lxor q3) + (len * q2) + q1) in
+  let i = ref pos in
+  while !i + 32 <= stop do
+    h1 := mix63 !h1 (Int64.to_int (get64_le buf !i));
+    h2 := mix63 !h2 (Int64.to_int (get64_le buf (!i + 8)));
+    h3 := mix63 !h3 (Int64.to_int (get64_le buf (!i + 16)));
+    h4 := mix63 !h4 (Int64.to_int (get64_le buf (!i + 24)));
+    i := !i + 32
+  done;
+  while !i + 8 <= stop do
+    h1 := mix63 !h1 (Int64.to_int (get64_le buf !i));
+    i := !i + 8
+  done;
+  if !i < stop then begin
+    (* 1..7 trailing bytes as one partial word; len is already mixed in *)
+    let v = ref 0 and shift = ref 0 in
+    while !i < stop do
+      v := !v lor (Bytes.get_uint8 buf !i lsl !shift);
+      shift := !shift + 8;
+      incr i
+    done;
+    h2 := mix63 !h2 !v
+  end;
+  Kernel_stats.tock Kernel_stats.fingerprint ~bytes:len ~t0;
+  merge63 !h1 !h2 !h3 !h4
+
+let hash63_string ?seed s =
+  hash63 ?seed (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)
+
+let hash63_ref ?(seed = 0) buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    invalid_arg "Xxhash.hash63_ref";
+  let stop = pos + len in
+  let word at =
+    Bytes.get_uint8 buf at
+    lor (Bytes.get_uint8 buf (at + 1) lsl 8)
+    lor (Bytes.get_uint8 buf (at + 2) lsl 16)
+    lor (Bytes.get_uint8 buf (at + 3) lsl 24)
+    lor (Bytes.get_uint8 buf (at + 4) lsl 32)
+    lor (Bytes.get_uint8 buf (at + 5) lsl 40)
+    lor (Bytes.get_uint8 buf (at + 6) lsl 48)
+    lor (Bytes.get_uint8 buf (at + 7) lsl 56)
+  in
+  let h1 = ref (seed + (len * q2) + q3)
+  and h2 = ref ((seed lxor q1) + (len * q3) + q2)
+  and h3 = ref (seed + (len * q1) + q2)
+  and h4 = ref ((seed lxor q3) + (len * q2) + q1) in
+  let i = ref pos in
+  while !i + 32 <= stop do
+    h1 := mix63 !h1 (word !i);
+    h2 := mix63 !h2 (word (!i + 8));
+    h3 := mix63 !h3 (word (!i + 16));
+    h4 := mix63 !h4 (word (!i + 24));
+    i := !i + 32
+  done;
+  while !i + 8 <= stop do
+    h1 := mix63 !h1 (word !i);
+    i := !i + 8
+  done;
+  if !i < stop then begin
+    let v = ref 0 and shift = ref 0 in
+    while !i < stop do
+      v := !v lor (Bytes.get_uint8 buf !i lsl !shift);
+      shift := !shift + 8;
+      incr i
+    done;
+    h2 := mix63 !h2 !v
+  end;
+  merge63 !h1 !h2 !h3 !h4
+
+let truncate_int h ~bits =
+  if bits >= Sys.int_size then h else h land ((1 lsl bits) - 1)

@@ -74,6 +74,57 @@ let prop_lz_roundtrip_structured =
     QCheck.(string_gen_of_size Gen.(0 -- 3000) (Gen.oneofl [ 'a'; 'b' ]))
     (fun s -> roundtrip s = s)
 
+(* The fast and reference kernels must produce byte-identical output —
+   not just roundtrip-equal — so one generator is shared across several
+   input shapes (random, low-entropy, RLE, text-like). *)
+let fast_equals_ref s =
+  let c_fast = Lz.compress s in
+  let c_ref = Lz.compress_ref s in
+  c_fast = c_ref
+  && Lz.decompress c_fast ~expected_len:(String.length s)
+     = Lz.decompress_ref c_fast ~expected_len:(String.length s)
+
+let prop_lz_fast_equals_ref_random =
+  QCheck.Test.make ~name:"lz word kernel equals byte kernel (random)" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 2000))
+    fast_equals_ref
+
+let prop_lz_fast_equals_ref_low_entropy =
+  QCheck.Test.make ~name:"lz word kernel equals byte kernel (low entropy)" ~count:300
+    QCheck.(string_gen_of_size Gen.(0 -- 3000) (Gen.oneofl [ 'a'; 'b' ]))
+    fast_equals_ref
+
+let test_lz_fast_equals_ref_shapes () =
+  let texty =
+    String.concat ""
+      (List.init 40 (fun i ->
+           Printf.sprintf "row|id=%08d|st=ACTIVE |bal=000042|name=customer_%04d|" i (i mod 7919)))
+  in
+  let rng = Purity_util.Rng.create ~seed:77L in
+  List.iter
+    (fun s -> check bool "identical output" true (fast_equals_ref s))
+    [
+      String.make 10_000 'z';
+      (* odd lengths around the word-loop boundaries *)
+      String.sub texty 0 63;
+      String.sub texty 3 129;
+      texty;
+      Bytes.to_string (Purity_util.Rng.bytes rng 4097);
+    ]
+
+let test_lz_scratch_reuse_deterministic () =
+  (* Reusing one scratch across many inputs must not leak state between
+     calls: each compress must equal a fresh-scratch compress. *)
+  let scratch = Lz.create_scratch () in
+  let rng = Purity_util.Rng.create ~seed:99L in
+  for i = 0 to 20 do
+    let s =
+      if i mod 3 = 0 then Bytes.to_string (Purity_util.Rng.bytes rng (17 * (i + 1)))
+      else String.concat "" (List.init (i + 1) (fun j -> Printf.sprintf "chunk-%d-%d " i j))
+    in
+    check str "scratch reuse" (Lz.compress s) (Lz.compress ~scratch s)
+  done
+
 (* ---------- Cblock ---------- *)
 
 let test_cblock_roundtrip_compressible () =
@@ -144,6 +195,19 @@ let prop_cblock_never_expands_much =
       let cb = Cblock.of_data s in
       Cblock.stored_size cb <= String.length s + 16)
 
+let prop_cblock_add_frame_equals_encode =
+  (* The zero-alloc framing path must be byte-identical to the boxed
+     [of_data] + [encode] path, including the raw-fallback branch. *)
+  QCheck.Test.make ~name:"cblock add_frame equals encode (of_data)" ~count:200
+    QCheck.(string_of_size Gen.(0 -- 4096))
+    (fun s ->
+      let scratch = Lz.create_scratch () in
+      let direct = Buffer.create 64 in
+      let n = Cblock.add_frame ~scratch direct s in
+      let boxed = Buffer.create 64 in
+      Cblock.encode boxed (Cblock.of_data s);
+      n = Buffer.length direct && Buffer.contents direct = Buffer.contents boxed)
+
 let () =
   Alcotest.run "compress"
     [
@@ -162,6 +226,10 @@ let () =
           Alcotest.test_case "ratio" `Quick test_lz_ratio;
           QCheck_alcotest.to_alcotest prop_lz_roundtrip_random;
           QCheck_alcotest.to_alcotest prop_lz_roundtrip_structured;
+          Alcotest.test_case "fast equals ref shapes" `Quick test_lz_fast_equals_ref_shapes;
+          Alcotest.test_case "scratch reuse deterministic" `Quick test_lz_scratch_reuse_deterministic;
+          QCheck_alcotest.to_alcotest prop_lz_fast_equals_ref_random;
+          QCheck_alcotest.to_alcotest prop_lz_fast_equals_ref_low_entropy;
         ] );
       ( "cblock",
         [
@@ -173,5 +241,6 @@ let () =
           Alcotest.test_case "512B granularity" `Quick test_cblock_512b_min_granularity;
           QCheck_alcotest.to_alcotest prop_cblock_roundtrip;
           QCheck_alcotest.to_alcotest prop_cblock_never_expands_much;
+          QCheck_alcotest.to_alcotest prop_cblock_add_frame_equals_encode;
         ] );
     ]

@@ -67,9 +67,10 @@ let test_anchored_fragment_found () =
   check int "src block 8" 8 (List.hd hits).Dedup.src.Dedup.block
 
 let test_byte_verification_rejects_collisions () =
-  (* Force collisions with 8-bit hashes: every lookup hits, but byte
-     comparison must reject them all. *)
-  let cfg = { Dedup.default_config with Dedup.hash_bits = 8 } in
+  (* Force collisions with 4-bit hashes (16 buckets for 8 recorded
+     anchors): lookups hit constantly, but byte comparison must reject
+     them all. *)
+  let cfg = { Dedup.default_config with Dedup.hash_bits = 4 } in
   let d = Dedup.create ~config:cfg () in
   ignore (Dedup.register d (random_blocks 64));
   let hits = Dedup.find_duplicates d (random_blocks 64) in

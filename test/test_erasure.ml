@@ -71,6 +71,39 @@ let test_gf_mul_slice () =
     check int "cancelled" 0 (Bytes.get_uint8 dst i)
   done
 
+let test_gf_mul_slice_zero_noop () =
+  (* c = 0 contributes nothing, so the destination must be untouched. *)
+  let src = Bytes.of_string "\xde\xad\xbe\xef\x01\x02\x03\x04\x05" in
+  let dst = Bytes.of_string "\x11\x22\x33\x44\x55\x66\x77\x88\x99" in
+  let before = Bytes.copy dst in
+  Gf.mul_slice 0 ~src ~dst;
+  check Alcotest.bytes "dst untouched" before dst
+
+let test_gf_mul_slice_length_mismatch () =
+  let src = Bytes.create 8 in
+  let dst = Bytes.create 9 in
+  Alcotest.check_raises "fast kernel"
+    (Invalid_argument "Gf256.mul_slice: length mismatch") (fun () ->
+      Gf.mul_slice 3 ~src ~dst);
+  Alcotest.check_raises "ref kernel"
+    (Invalid_argument "Gf256.mul_slice_ref: length mismatch") (fun () ->
+      Gf.mul_slice_ref 3 ~src ~dst)
+
+let prop_gf_mul_slice_fast_equals_ref =
+  (* Word kernel vs byte kernel over every coefficient class (0, 1,
+     general) and odd lengths that exercise the scalar tail. *)
+  QCheck.Test.make ~name:"mul_slice word kernel equals byte kernel" ~count:300
+    QCheck.(triple (int_bound 255) (int_bound 100) int)
+    (fun (c, n, seed) ->
+      let local = Purity_util.Rng.create ~seed:(Int64.of_int seed) in
+      let src = Purity_util.Rng.bytes local n in
+      let dst0 = Purity_util.Rng.bytes local n in
+      let dst_fast = Bytes.copy dst0 in
+      let dst_ref = Bytes.copy dst0 in
+      Gf.mul_slice c ~src ~dst:dst_fast;
+      Gf.mul_slice_ref c ~src ~dst:dst_ref;
+      Bytes.equal dst_fast dst_ref)
+
 (* ---------- Reed-Solomon ---------- *)
 
 let rng = Purity_util.Rng.create ~seed:0xE7A5L
@@ -154,6 +187,28 @@ let test_rs_bad_args () =
     (Invalid_argument "Reed_solomon.encode: need k shards") (fun () ->
       ignore (Rs.encode rs [| Bytes.create 4 |]))
 
+let prop_rs_encode_fast_equals_ref =
+  (* The input-major word encoder must produce byte-identical parity to
+     the original byte-at-a-time encoder, including odd shard sizes. *)
+  QCheck.Test.make ~name:"rs encode word kernel equals byte kernel" ~count:80
+    QCheck.(triple (int_range 2 10) (int_range 1 4) (int_range 1 100))
+    (fun (k, m, size) ->
+      let rs = Rs.create ~k ~m in
+      let local = Purity_util.Rng.create ~seed:(Int64.of_int ((k * 7919) + (m * 131) + size)) in
+      let data = Array.init k (fun _ -> Purity_util.Rng.bytes local size) in
+      Array.for_all2 Bytes.equal (Rs.encode rs data) (Rs.encode_ref rs data))
+
+let test_rs_odd_size_double_erasure () =
+  (* Odd shard size drives decode's mul_slice tail through the word path. *)
+  let rs = Rs.create ~k:5 ~m:2 in
+  let data = random_shards 5 77 in
+  let parity = Rs.encode rs data in
+  let shards = Array.map Option.some (Array.append data parity) in
+  shards.(2) <- None;
+  shards.(5) <- None;
+  let decoded = Rs.decode rs shards in
+  Array.iteri (fun i d -> check Alcotest.bytes "shard" data.(i) d) decoded
+
 let prop_rs_random_erasures =
   QCheck.Test.make ~name:"random k/m/erasures recover" ~count:60
     QCheck.(triple (int_range 2 10) (int_range 1 4) (int_range 1 64))
@@ -185,6 +240,9 @@ let () =
           Alcotest.test_case "div" `Quick test_gf_div;
           Alcotest.test_case "distributive" `Quick test_gf_distributive;
           Alcotest.test_case "mul_slice" `Quick test_gf_mul_slice;
+          Alcotest.test_case "mul_slice zero noop" `Quick test_gf_mul_slice_zero_noop;
+          Alcotest.test_case "mul_slice length mismatch" `Quick test_gf_mul_slice_length_mismatch;
+          QCheck_alcotest.to_alcotest prop_gf_mul_slice_fast_equals_ref;
         ] );
       ( "reed_solomon",
         [
@@ -195,6 +253,8 @@ let () =
           Alcotest.test_case "encode_string" `Quick test_rs_encode_string;
           Alcotest.test_case "parity overhead" `Quick test_rs_parity_overhead;
           Alcotest.test_case "bad args" `Quick test_rs_bad_args;
+          Alcotest.test_case "odd-size double erasure" `Quick test_rs_odd_size_double_erasure;
+          QCheck_alcotest.to_alcotest prop_rs_encode_fast_equals_ref;
           QCheck_alcotest.to_alcotest prop_rs_random_erasures;
         ] );
     ]

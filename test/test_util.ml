@@ -91,6 +91,26 @@ let prop_xxhash_seed_sensitivity =
     QCheck.(string_of_size Gen.(1 -- 64))
     (fun s -> Xxhash.hash_string ~seed:1L s <> Xxhash.hash_string ~seed:2L s)
 
+let test_hash63_truncate_int () =
+  let h = -1 (* all 63 bits set *) in
+  check Alcotest.int "16 bits" 0xFFFF (Xxhash.truncate_int h ~bits:16);
+  check Alcotest.int "1 bit" 1 (Xxhash.truncate_int h ~bits:1);
+  check Alcotest.int "full width id" h (Xxhash.truncate_int h ~bits:Sys.int_size)
+
+let prop_hash63_fast_equals_ref =
+  (* The word kernel and the byte-assembly kernel must agree on every
+     slice: stripes, 8-byte remainders, 1..7 trailing bytes, empty. *)
+  QCheck.Test.make ~name:"hash63 word kernel equals byte kernel" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 200)) (pair small_nat small_nat))
+    (fun (s, (a, b)) ->
+      let buf = Bytes.of_string s in
+      let n = Bytes.length buf in
+      let pos = if n = 0 then 0 else a mod (n + 1) in
+      let len = if n = pos then 0 else b mod (n - pos + 1) in
+      Xxhash.hash63 buf ~pos ~len = Xxhash.hash63_ref buf ~pos ~len
+      && Xxhash.hash63 ~seed:42 buf ~pos ~len
+         = Xxhash.hash63_ref ~seed:42 buf ~pos ~len)
+
 (* ---------- Crc32c ---------- *)
 
 let test_crc32c_known_vector () =
@@ -106,6 +126,46 @@ let test_crc32c_incremental () =
   let c1 = Crc32c.digest b ~pos:0 ~len:10 in
   let c2 = Crc32c.update c1 b ~pos:10 ~len:(Bytes.length b - 10) in
   check Alcotest.int32 "incremental equals whole" whole c2
+
+let test_crc32c_rfc3720_suite () =
+  (* The full RFC 3720 B.4 known-answer suite, against both kernels. *)
+  let vectors =
+    [
+      ("32 zeros", Bytes.make 32 '\000', 0x8A9136AAl);
+      ("32 ones", Bytes.make 32 '\xff', 0x62A8AB43l);
+      ("ascending", Bytes.init 32 Char.chr, 0x46DD794El);
+      ("descending", Bytes.init 32 (fun i -> Char.chr (31 - i)), 0x113FDB5Cl);
+    ]
+  in
+  List.iter
+    (fun (name, b, want) ->
+      check Alcotest.int32 name want (Crc32c.digest b ~pos:0 ~len:32);
+      check Alcotest.int32 (name ^ " (ref)") want (Crc32c.digest_ref b ~pos:0 ~len:32))
+    vectors
+
+let prop_crc32c_fast_equals_ref =
+  (* The word kernel must agree with the byte kernel on every slice:
+     odd lengths, unaligned positions, and the empty slice. *)
+  QCheck.Test.make ~name:"crc32c word kernel equals byte kernel" ~count:500
+    QCheck.(pair string (pair small_nat small_nat))
+    (fun (s, (a, b)) ->
+      let buf = Bytes.of_string s in
+      let n = Bytes.length buf in
+      let pos = if n = 0 then 0 else a mod (n + 1) in
+      let len = if n = pos then 0 else b mod (n - pos + 1) in
+      Crc32c.digest buf ~pos ~len = Crc32c.digest_ref buf ~pos ~len)
+
+let prop_crc32c_incremental_equals_oneshot =
+  (* Splitting at any point and chaining through [update] must match the
+     one-shot digest (the two halves exercise both tails). *)
+  QCheck.Test.make ~name:"crc32c incremental equals one-shot" ~count:300
+    QCheck.(pair string small_nat)
+    (fun (s, cut) ->
+      let buf = Bytes.of_string s in
+      let n = Bytes.length buf in
+      let cut = if n = 0 then 0 else cut mod (n + 1) in
+      let c1 = Crc32c.digest buf ~pos:0 ~len:cut in
+      Crc32c.update c1 buf ~pos:cut ~len:(n - cut) = Crc32c.digest buf ~pos:0 ~len:n)
 
 (* ---------- Histogram ---------- *)
 
@@ -388,11 +448,16 @@ let () =
           Alcotest.test_case "truncate" `Quick test_xxhash_truncate;
           QCheck_alcotest.to_alcotest prop_xxhash_deterministic;
           QCheck_alcotest.to_alcotest prop_xxhash_seed_sensitivity;
+          Alcotest.test_case "truncate_int" `Quick test_hash63_truncate_int;
+          QCheck_alcotest.to_alcotest prop_hash63_fast_equals_ref;
         ] );
       ( "crc32c",
         [
           Alcotest.test_case "known vectors" `Quick test_crc32c_known_vector;
           Alcotest.test_case "incremental" `Quick test_crc32c_incremental;
+          Alcotest.test_case "rfc3720 suite" `Quick test_crc32c_rfc3720_suite;
+          QCheck_alcotest.to_alcotest prop_crc32c_fast_equals_ref;
+          QCheck_alcotest.to_alcotest prop_crc32c_incremental_equals_oneshot;
         ] );
       ( "histogram",
         [
