@@ -1,16 +1,22 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test torture bench bench-micro bench-kernels clean
+.PHONY: all check test lint torture bench bench-micro bench-kernels clean
 
 all:
 	dune build
 
-# The tier-1 gate: full build plus every test suite.
+# The tier-1 gate: full build plus every test suite plus static analysis.
 check:
-	dune build && dune runtest
+	dune build && dune runtest && dune build @lint
 
 test:
 	dune runtest
+
+# purity.lint: typed-AST checks for determinism, unsafe-access
+# containment and hot-path hygiene. Fails on any unwaived finding;
+# writes _build/default/lint_report.jsonl.
+lint:
+	dune build @lint
 
 # Extended fault-injection sweep (~1000 random scenarios through
 # purity.check); minutes, not seconds — deliberately outside tier-1.

@@ -38,21 +38,7 @@ let text_32k = textish 32768 12345678
 
 (* Processor time is plenty at these op counts (same harness as the
    metadata hot-path experiment). *)
-let time_ops ?(warmup = 200) ?(batch = 50) f =
-  for _ = 1 to warmup do
-    f ()
-  done;
-  let start = Sys.time () in
-  let n = ref 0 in
-  while Sys.time () -. start < 0.25 do
-    for _ = 1 to batch do
-      f ()
-    done;
-    n := !n + batch
-  done;
-  let elapsed = Sys.time () -. start in
-  let ops = float_of_int !n in
-  (ops /. elapsed, elapsed *. 1e9 /. ops)
+let time_ops ?warmup ?batch f = Bclock.time_ops ?warmup ?batch f
 
 let emit name ~bytes (ops_s, ns_op) =
   let mb_s = float_of_int bytes *. ops_s /. 1e6 in
@@ -180,7 +166,7 @@ let run_in_section () =
   check_equiv ();
   (* exercise the kernels/<k>_ns telemetry counters under a wall clock,
      then remove it so the timed loops below pay no per-call clock reads *)
-  Kernel_stats.set_clock (Some (fun () -> int_of_float (Sys.time () *. 1e9)));
+  Kernel_stats.set_clock (Some Bclock.now_ns);
   ignore (fill_fast ());
   Kernel_stats.set_clock None;
   let kb k = Printf.sprintf "%s %d calls / %d bytes" k.Kernel_stats.name k.calls k.bytes in

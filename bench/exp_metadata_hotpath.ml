@@ -55,21 +55,7 @@ let build () =
 
 (* Processor time is plenty at these op counts; keep the harness free of
    unix/bechamel plumbing for one experiment. *)
-let time_ops f =
-  for _ = 1 to 2_000 do
-    f ()
-  done;
-  let start = Sys.time () in
-  let n = ref 0 in
-  while Sys.time () -. start < 0.25 do
-    for _ = 1 to 500 do
-      f ()
-    done;
-    n := !n + 500
-  done;
-  let elapsed = Sys.time () -. start in
-  let ops = float_of_int !n in
-  (ops /. elapsed, elapsed *. 1e9 /. ops)
+let time_ops f = Bclock.time_ops ~warmup:2_000 ~batch:500 f
 
 let emit name (ops_s, ns_op) =
   Bench_util.emit_row ~kind:"bench_micro"

@@ -207,11 +207,12 @@ let replicate drives seed cycles =
   | Error _ -> failwith "create_volume");
   (match Repl.protect repl "vol" with Ok () -> () | Error _ -> failwith "protect");
   let dg = Dg.create ~seed:(Int64.of_int seed) in
+  let rng = Purity_util.Rng.create ~seed:(Int64.of_int (seed + 7919)) in
   for c = 1 to cycles do
     for _ = 1 to 4 do
       ignore
         (await clock
-           (Fa.write source ~volume:"vol" ~block:(Random.int 60 * 256)
+           (Fa.write source ~volume:"vol" ~block:(Purity_util.Rng.int rng 60 * 256)
               (Dg.rdbms_page dg (64 * 512))))
     done;
     let r = await clock (fun k -> Repl.replicate_once repl "vol" k) in

@@ -1,0 +1,51 @@
+(* purity_lint: the standalone static-analysis driver. Run from the build
+   root (the dune @lint alias does this): scans the .cmt typed ASTs dune
+   already produced for every module under the given roots, enforces the
+   determinism / unsafe-containment / hot-path-hygiene rules, and exits
+   non-zero on any unwaived finding. *)
+
+let () =
+  let roots = ref [] in
+  let baseline_path = ref "" in
+  let jsonl = ref "" in
+  let quiet = ref false in
+  let spec =
+    [
+      ( "--root",
+        Arg.String (fun s -> roots := s :: !roots),
+        "DIR scan this directory for .cmt files (repeatable; default: lib bin \
+         bench test lint)" );
+      ("--baseline", Arg.Set_string baseline_path, "FILE checked-in baseline of acknowledged findings");
+      ("--jsonl", Arg.Set_string jsonl, "FILE write machine-readable findings (telemetry exporter schema)");
+      ("--quiet", Arg.Set quiet, " suppress per-finding lines, print the summary only");
+    ]
+  in
+  Arg.parse spec
+    (fun s -> roots := s :: !roots)
+    "purity_lint [--root DIR]... [--baseline FILE] [--jsonl FILE]";
+  let roots =
+    match !roots with [] -> [ "lib"; "bin"; "bench"; "test"; "lint" ] | rs -> List.rev rs
+  in
+  let cfg = Lint.Rules.default in
+  let baseline, baseline_errors =
+    if !baseline_path = "" then ([], [])
+    else if not (Sys.file_exists !baseline_path) then
+      ( [],
+        [
+          Lint.Finding.v ~rule:Lint.Finding.Waiver ~file:!baseline_path ~line:1
+            ~col:0 "baseline file not found";
+        ] )
+    else Lint.Baseline.load !baseline_path
+  in
+  let cmts = Lint.scan_cmts cfg ~roots in
+  let summary = Lint.run cfg ~baseline ~baseline_path:!baseline_path cmts in
+  let summary =
+    {
+      summary with
+      Lint.Report.findings =
+        List.sort Lint.Finding.order (baseline_errors @ summary.Lint.Report.findings);
+    }
+  in
+  if !jsonl <> "" then Lint.Report.write_jsonl ~path:!jsonl summary;
+  Lint.Report.print ~quiet:!quiet summary;
+  if not (Lint.Report.clean summary) then exit 1

@@ -334,7 +334,7 @@ let audit_data ctx =
    invalidation hooks. *)
 let audit_mapping_cache ctx =
   let st = Fa.state ctx.arr in
-  Hashtbl.iter
+  State.Stbl.iter
     (fun name (v : State.volume) ->
       let medium = v.State.medium and blocks = v.State.blocks in
       if blocks > 0 then begin

@@ -50,7 +50,7 @@ let register_array_telemetry t =
   Registry.derive_int reg "array/live_logical_bytes" (fun () ->
       Pyramid.live_key_count t.st.blocks * block_size);
   Registry.derive_int reg "array/provisioned_bytes" (fun () ->
-      Hashtbl.fold
+      State.Stbl.fold
         (fun _ (v : State.volume) acc -> acc + (v.State.blocks * block_size))
         t.st.volumes 0);
   Registry.derive_float reg "array/data_reduction" (fun () ->
@@ -88,13 +88,13 @@ type read_error = Read_path.error
 
 let create_volume t name ~blocks =
   let st = t.st in
-  if Hashtbl.mem st.volumes name then Error `Exists
+  if State.Stbl.mem st.volumes name then Error `Exists
   else if blocks <= 0 then invalid_arg "create_volume: blocks must be positive"
   else begin
     let medium = Medium.create_base st.medium_table ~blocks in
     st.medium_next_id <- Medium.peek_next_id st.medium_table;
     let v = { medium; blocks; kind = Volume; observer = fresh_observer () } in
-    Hashtbl.replace st.volumes name v;
+    State.Stbl.replace st.volumes name v;
     persist_medium st medium;
     persist_volume st name v;
     maybe_persist_boot st;
@@ -103,7 +103,7 @@ let create_volume t name ~blocks =
 
 (* Is a medium the current medium of any volume or snapshot? *)
 let medium_in_use st medium =
-  Hashtbl.fold (fun _ v acc -> acc || v.medium = medium) st.volumes false
+  State.Stbl.fold (fun _ v acc -> acc || v.medium = medium) st.volumes false
 
 (* Drop a medium and cascade into ancestors that become unreferenced.
    Each drop is one elide insert per table — the paper's point. *)
@@ -111,7 +111,7 @@ let rec drop_medium_cascade st medium =
   if
     Medium.exists st.medium_table medium
     && (not (medium_in_use st medium))
-    && Medium.referenced_by st.medium_table medium = []
+    && (match Medium.referenced_by st.medium_table medium with [] -> true | _ :: _ -> false)
   then begin
     let targets =
       Medium.extents st.medium_table medium
@@ -129,20 +129,20 @@ let rec drop_medium_cascade st medium =
 
 let delete_volume t name =
   let st = t.st in
-  match Hashtbl.find_opt st.volumes name with
+  match State.Stbl.find_opt st.volumes name with
   | None -> Error `No_such_volume
-  | Some v when v.kind = Snapshot -> Error `Is_snapshot
+  | Some { kind = Snapshot; _ } -> Error `Is_snapshot
   | Some v ->
-    Hashtbl.remove st.volumes name;
+    State.Stbl.remove st.volumes name;
     ignore (put_delete st st.volumes_pyr ~key:name);
     drop_medium_cascade st v.medium;
     Ok ()
 
 let resize_volume t name ~blocks =
   let st = t.st in
-  match Hashtbl.find_opt st.volumes name with
+  match State.Stbl.find_opt st.volumes name with
   | None -> Error `No_such_volume
-  | Some v when v.kind = Snapshot -> Error `Is_snapshot
+  | Some { kind = Snapshot; _ } -> Error `Is_snapshot
   | Some v ->
     if blocks < v.blocks then Error `Shrink
     else begin
@@ -157,18 +157,18 @@ let resize_volume t name ~blocks =
 
 let snapshot t ~volume ~snap =
   let st = t.st in
-  match Hashtbl.find_opt st.volumes volume with
+  match State.Stbl.find_opt st.volumes volume with
   | None -> Error `No_such_volume
-  | Some v when v.kind = Snapshot -> Error `Is_snapshot
+  | Some { kind = Snapshot; _ } -> Error `Is_snapshot
   | Some v ->
-    if Hashtbl.mem st.volumes snap then Error `Exists
+    if State.Stbl.mem st.volumes snap then Error `Exists
     else begin
       let frozen = v.medium in
       let snap_medium, successor = Medium.take_snapshot st.medium_table frozen in
       st.medium_next_id <- Medium.peek_next_id st.medium_table;
       v.medium <- successor;
       let s = { medium = snap_medium; blocks = v.blocks; kind = Snapshot; observer = fresh_observer () } in
-      Hashtbl.replace st.volumes snap s;
+      State.Stbl.replace st.volumes snap s;
       persist_medium st frozen;
       persist_medium st snap_medium;
       persist_medium st successor;
@@ -179,11 +179,11 @@ let snapshot t ~volume ~snap =
 
 let clone t ~snapshot:snap_name ~volume =
   let st = t.st in
-  match Hashtbl.find_opt st.volumes snap_name with
+  match State.Stbl.find_opt st.volumes snap_name with
   | None -> Error `No_such_volume
-  | Some s when s.kind = Volume -> Error `Is_volume
+  | Some { kind = Volume; _ } -> Error `Is_volume
   | Some s ->
-    if Hashtbl.mem st.volumes volume then Error `Exists
+    if State.Stbl.mem st.volumes volume then Error `Exists
     else begin
       (* clone the medium the snapshot references (its frozen parent): the
          snapshot handle itself is an empty pass-through layer *)
@@ -195,7 +195,7 @@ let clone t ~snapshot:snap_name ~volume =
       let medium = Medium.clone st.medium_table parent () in
       st.medium_next_id <- Medium.peek_next_id st.medium_table;
       let v = { medium; blocks = s.blocks; kind = Volume; observer = fresh_observer () } in
-      Hashtbl.replace st.volumes volume v;
+      State.Stbl.replace st.volumes volume v;
       persist_medium st medium;
       persist_volume st volume v;
       Ok ()
@@ -203,26 +203,26 @@ let clone t ~snapshot:snap_name ~volume =
 
 let delete_snapshot t name =
   let st = t.st in
-  match Hashtbl.find_opt st.volumes name with
+  match State.Stbl.find_opt st.volumes name with
   | None -> Error `No_such_volume
-  | Some v when v.kind = Volume -> Error `Is_volume
+  | Some { kind = Volume; _ } -> Error `Is_volume
   | Some v ->
-    Hashtbl.remove st.volumes name;
+    State.Stbl.remove st.volumes name;
     ignore (put_delete st st.volumes_pyr ~key:name);
     drop_medium_cascade st v.medium;
     Ok ()
 
 let list_volumes t =
-  Hashtbl.fold
+  State.Stbl.fold
     (fun name v acc ->
       (name, (match v.kind with Volume -> `Volume | Snapshot -> `Snapshot), v.blocks) :: acc)
     t.st.volumes []
-  |> List.sort compare
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
-let volume_exists t name = Hashtbl.mem t.st.volumes name
+let volume_exists t name = State.Stbl.mem t.st.volumes name
 
 let inferred_io_blocks t name =
-  match Hashtbl.find_opt t.st.volumes name with
+  match State.Stbl.find_opt t.st.volumes name with
   | Some v -> Some (State.inferred_io_blocks v.State.observer)
   | None -> None
 
@@ -280,15 +280,16 @@ let rebuild_drive t drive k =
       st.segment_metas []
   in
   let live = Gc.liveness st in
-  let content_cache = Hashtbl.create 16 in
+  let content_cache = Purity_util.Keytbl.I64.create 16 in
   let counters = (ref 0, ref 0, ref 0) in
   let released = ref [] in
   let rec go = function
     | [] ->
       (try seal_current st with Out_of_space -> ());
       when_flushed st (fun () ->
-          if !released = [] then k 0
-          else
+          match !released with
+          | [] -> k 0
+          | _ :: _ ->
             (* as in GC and scrub: a checkpoint must cover the victims'
                log records before their headers are destroyed *)
             Checkpoint.run st (fun _ckpt ->
@@ -357,7 +358,7 @@ let stats t =
   let physical_used = Allocator.used_au_count st.alloc * au in
   let capacity = Shelf.physical_bytes st.shelf in
   let provisioned =
-    Hashtbl.fold
+    State.Stbl.fold
       (fun _ (v : State.volume) acc -> acc + (v.State.blocks * block_size))
       st.volumes 0
   in

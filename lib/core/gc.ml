@@ -14,6 +14,7 @@
      relocated data has reached the drives. *)
 
 open State
+module I64tbl = Purity_util.Keytbl.I64
 module Xxhash = Purity_util.Xxhash
 
 type report = {
@@ -93,7 +94,7 @@ let relocate_segment t ~live ~content_cache ~counters seg_id k =
               try
                 let fingerprint = Xxhash.hash frame ~pos:0 ~len:(Bytes.length frame) in
                 let base =
-                  match Hashtbl.find_opt content_cache fingerprint with
+                  match I64tbl.find_opt content_cache fingerprint with
                   | Some (base, cached) when String.equal cached (Bytes.to_string frame) ->
                     incr dedup_hits;
                     Registry.incr t.ws.gc_dedup_blocks;
@@ -103,7 +104,7 @@ let relocate_segment t ~live ~content_cache ~counters seg_id k =
                     let base =
                       { Blockref.segment; off = new_off; stored_len; index = 0 }
                     in
-                    Hashtbl.replace content_cache fingerprint (base, Bytes.to_string frame);
+                    I64tbl.replace content_cache fingerprint (base, Bytes.to_string frame);
                     incr relocated;
                     rel_bytes := !rel_bytes + stored_len;
                     base
@@ -187,7 +188,7 @@ let run ?(min_dead_ratio = 0.25) ?(max_victims = 4) t k =
     |> List.filteri (fun i _ -> i < max_victims)
     |> List.map fst
   in
-  let content_cache = Hashtbl.create 64 in
+  let content_cache = I64tbl.create 64 in
   let relocated = ref 0 and rel_bytes = ref 0 and dedup_hits = ref 0 in
   let counters = (relocated, rel_bytes, dedup_hits) in
   let releasable = ref [] in

@@ -1,4 +1,5 @@
 module Clock = Purity_sim.Clock
+module Stbl = Purity_util.Keytbl.Str
 
 type policy = { every_us : float; keep : int }
 
@@ -11,12 +12,12 @@ type entry = {
 
 type t = {
   array : Flash_array.t;
-  entries : (string, entry) Hashtbl.t;
+  entries : entry Stbl.t;
   mutable stopped : bool;
   mutable total_taken : int;
 }
 
-let create array = { array; entries = Hashtbl.create 8; stopped = false; total_taken = 0 }
+let create array = { array; entries = Stbl.create 8; stopped = false; total_taken = 0 }
 
 let tick t volume entry =
   if (not t.stopped) && entry.active && Flash_array.volume_exists t.array volume then begin
@@ -44,26 +45,26 @@ let rec schedule t volume entry =
       if tick t volume entry then schedule t volume entry)
 
 let protect t ~volume policy =
-  if Hashtbl.mem t.entries volume then Error `Already
+  if Stbl.mem t.entries volume then Error `Already
   else if not (Flash_array.volume_exists t.array volume) then Error `No_such_volume
   else if policy.keep <= 0 || policy.every_us <= 0.0 then
     invalid_arg "Protection.protect: keep and cadence must be positive"
   else begin
     let entry = { policy; counter = 0; retained = []; active = true } in
-    Hashtbl.replace t.entries volume entry;
+    Stbl.replace t.entries volume entry;
     schedule t volume entry;
     Ok ()
   end
 
 let unprotect t ~volume =
-  (match Hashtbl.find_opt t.entries volume with
+  (match Stbl.find_opt t.entries volume with
   | Some e -> e.active <- false
   | None -> ());
-  Hashtbl.remove t.entries volume
+  Stbl.remove t.entries volume
 
 let stop t = t.stopped <- true
 
 let snapshots t ~volume =
-  match Hashtbl.find_opt t.entries volume with Some e -> e.retained | None -> []
+  match Stbl.find_opt t.entries volume with Some e -> e.retained | None -> []
 
 let taken t = t.total_taken

@@ -42,7 +42,7 @@ let read t ~volume ~block ~nblocks k =
   let fail e = Clock.schedule t.clock ~delay:0.0 (fun () -> k (Error e)) in
   if not t.online then fail `Offline
   else
-    match Hashtbl.find_opt t.volumes volume with
+    match Stbl.find_opt t.volumes volume with
     | None -> fail `No_such_volume
     | Some v ->
       if nblocks <= 0 || block < 0 || block + nblocks > v.blocks then fail `Out_of_range
@@ -72,10 +72,11 @@ let read t ~volume ~block ~nblocks k =
             k (Ok (Bytes.unsafe_to_string out))
           end
         in
-        if fetches = [] then
+        match fetches with
+        | [] ->
           (* all-zero read: charge a trivial metadata-only latency *)
           Clock.schedule t.clock ~delay:1.0 finish
-        else
+        | _ :: _ ->
           List.iter
             (fun f ->
               match Hashtbl.find_opt t.unflushed f.ref_.Blockref.segment with

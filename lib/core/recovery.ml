@@ -14,6 +14,7 @@
       metas, allocator occupancy, sequence counter). *)
 
 open State
+module Ptbl = Purity_util.Keytbl.Ipair
 
 type mode = Frontier_scan | Full_scan
 
@@ -96,8 +97,8 @@ let rebuild_derived t ~medium_next_hint =
       (fun id _ acc ->
         let key = Keys.segment_key id in
         if
-          Pyramid.find t.segments_pyr key = None
-          && Pyramid.find_ignoring_retractions t.segments_pyr key <> None
+          Option.is_none (Pyramid.find t.segments_pyr key)
+          && Option.is_some (Pyramid.find_ignoring_retractions t.segments_pyr key)
         then id :: acc
         else acc)
       t.segment_metas []
@@ -131,10 +132,10 @@ let rebuild_derived t ~medium_next_hint =
   t.medium_table <- Medium.restore ~rows:!rows ~next_id;
   t.medium_next_id <- next_id;
   (* volumes *)
-  Hashtbl.reset t.volumes;
+  Stbl.reset t.volumes;
   Pyramid.iter_live t.volumes_pyr (fun ~key ~value ->
       match decode_volume_value value with
-      | v -> Hashtbl.replace t.volumes key v
+      | v -> Stbl.replace t.volumes key v
       | exception Invalid_argument _ -> ());
   (* the sequence counter must move past everything rediscovered *)
   List.iter
@@ -160,7 +161,9 @@ let scanned_segment_complete t ~claims (seg : Segment.t) =
       || ((* the AU's own header must name this segment: a full AU is no
              proof when it was reused by a newer segment while this stale
              sibling kept the old id *)
-          Hashtbl.find_opt claims (m.Segment.drive, m.Segment.au) = Some seg.Segment.id
+          (match Ptbl.find_opt claims (m.Segment.drive, m.Segment.au) with
+           | Some id -> id = seg.Segment.id
+           | None -> false)
          && Drive.au_fill d ~au:m.Segment.au >= expected))
     seg.Segment.members
 
@@ -230,7 +233,7 @@ let recover ?(mode = Frontier_scan) t k =
       let ckpt_bytes = ref 0 in
       let pyr_of_name name =
         List.find_opt
-          (fun p -> Pyramid.name p = name)
+          (fun p -> String.equal (Pyramid.name p) name)
           [ t.blocks; t.mediums_pyr; t.segments_pyr; t.volumes_pyr ]
       in
       let ckpt_segments = ref [] in
@@ -264,11 +267,11 @@ let recover ?(mode = Frontier_scan) t k =
           | Some pyr ->
             load_chunks chunks (fun blob ->
                 ckpt_bytes := !ckpt_bytes + String.length blob;
-                (if blob <> "" then
+                (if String.length blob > 0 then
                    match Patch.deserialize blob with
                    | patch -> Pyramid.replace_patches pyr [ patch ]
                    | exception Invalid_argument _ -> ());
-                (if ranges <> "" && Pyramid.policy_is_elision pyr then
+                (if String.length ranges > 0 && Pyramid.policy_is_elision pyr then
                    match Purity_encoding.Ranges.decode ranges with
                    | r -> Pyramid.restore_elides pyr r
                    | exception Invalid_argument _ -> ());
@@ -278,7 +281,7 @@ let recover ?(mode = Frontier_scan) t k =
           t.checkpoint_segments <- List.sort_uniq Int.compare !ckpt_segments;
           (* scan for log records; [claims] records which segment each
              physical AU's on-disk header actually names *)
-          let claims = Hashtbl.create 64 in
+          let claims = Ptbl.create 64 in
           let scan k =
             match mode with
             | Full_scan ->
@@ -335,14 +338,14 @@ let recover ?(mode = Frontier_scan) t k =
                   then
                     match Fact.decode (Bytes.unsafe_of_string p) ~pos:2 with
                     | fact, _ ->
-                      if fact.Fact.value <> None then
+                      if Option.is_some fact.Fact.value then
                         Hashtbl.replace nvram_commits
                           (Keys.segment_key_id fact.Fact.key) ()
                     | exception Invalid_argument _ -> ())
                 (Nvram.records (nvram t));
               let committed (seg : Segment.t) =
                 Hashtbl.mem t.segment_metas seg.Segment.id
-                || Pyramid.find t.segments_pyr (Keys.segment_key seg.Segment.id) <> None
+                || Option.is_some (Pyramid.find t.segments_pyr (Keys.segment_key seg.Segment.id))
                 || Hashtbl.mem nvram_commits seg.Segment.id
                 || scanned_segment_complete t ~claims seg
               in
@@ -388,12 +391,11 @@ let recover ?(mode = Frontier_scan) t k =
                         replay_logs rest k)
               in
               let rec trust_rounds pending k =
-                let now, later = List.partition committed pending in
-                if now = [] then k later
-                else begin
+                match List.partition committed pending with
+                | [], later -> k later
+                | now, later ->
                   List.iter install now;
                   replay_logs now (fun () -> trust_rounds later k)
-                end
               in
               let after_logs () =
                 rebuild_derived t ~medium_next_hint:bb.bb_medium_next;
@@ -410,8 +412,8 @@ let recover ?(mode = Frontier_scan) t k =
                        its fact would resurrect a dead segment over its own
                        tombstone *)
                     if
-                      Pyramid.find t.segments_pyr key = None
-                      && Pyramid.find_ignoring_retractions t.segments_pyr key = None
+                      Option.is_none (Pyramid.find t.segments_pyr key)
+                      && Option.is_none (Pyramid.find_ignoring_retractions t.segments_pyr key)
                     then
                       try ignore (put t t.segments_pyr ~key ~value:(Segment.encode_compact seg))
                       with Out_of_space -> ())

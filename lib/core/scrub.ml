@@ -71,7 +71,7 @@ let run t k =
           end;
           scan rest)
   and relocate () =
-    let content_cache = Hashtbl.create 16 in
+    let content_cache = Gc.I64tbl.create 16 in
     let counters = (ref 0, ref 0, ref 0) in
     let released = ref [] in
     let rec go = function
@@ -86,8 +86,9 @@ let run t k =
                whose NVRAM records were already trimmed. As in GC, a
                checkpoint must cover them before the segment goes away. *)
             let release k =
-              if !released = [] then k ()
-              else
+              match !released with
+              | [] -> k ()
+              | _ :: _ ->
                 Checkpoint.run t (fun _ckpt ->
                     List.iter (Gc.release_segment t) !released;
                     maybe_persist_boot t;

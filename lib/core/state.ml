@@ -4,6 +4,7 @@
    operating over this record. *)
 
 module Clock = Purity_sim.Clock
+module Stbl = Purity_util.Keytbl.Str
 module Rng = Purity_util.Rng
 module Histogram = Purity_util.Histogram
 module Varint = Purity_util.Varint
@@ -160,7 +161,7 @@ type t = {
   volumes_pyr : Pyramid.t; (* name -> (kind, medium, blocks); tombstones *)
   (* volatile derived state *)
   mutable medium_table : Medium.t;
-  volumes : (string, volume) Hashtbl.t;
+  volumes : volume Stbl.t;
   segment_metas : (int, Segment.t) Hashtbl.t;
   mutable checkpoint_segments : int list; (* hold the current checkpoint *)
   mutable next_segment_id : int;
@@ -233,7 +234,7 @@ let register_derived_telemetry t =
   Registry.derive_int reg "segments/unflushed" (fun () -> Hashtbl.length t.unflushed);
   Registry.derive_int reg "segments/pending_flushes" (fun () -> t.pending_flush_count);
   Registry.derive_int reg "segments/next_id" (fun () -> t.next_segment_id);
-  Registry.derive_int reg "volumes/count" (fun () -> Hashtbl.length t.volumes);
+  Registry.derive_int reg "volumes/count" (fun () -> Stbl.length t.volumes);
   Registry.derive_int reg "pyramid/blocks_facts" (fun () -> Pyramid.fact_count t.blocks);
   Registry.derive_int reg "pyramid/blocks_patches" (fun () -> Pyramid.patch_count t.blocks);
   Registry.derive_int reg "pyramid/blocks_probes" (fun () ->
@@ -298,7 +299,7 @@ let create_over ~config ~clock ~shelf ~boot () =
     segments_pyr;
     volumes_pyr;
     medium_table = Medium.create ();
-    volumes = Hashtbl.create 16;
+    volumes = Stbl.create 16;
     segment_metas = Hashtbl.create 64;
     checkpoint_segments = [];
     next_segment_id = 1;

@@ -129,9 +129,9 @@ let write t ~volume ~block data k =
   let fail e = Clock.schedule t.clock ~delay:0.0 (fun () -> k (Error e)) in
   if not t.online then fail `Offline
   else
-    match Hashtbl.find_opt t.volumes volume with
+    match Stbl.find_opt t.volumes volume with
     | None -> fail `No_such_volume
-    | Some v when v.kind = Snapshot -> fail `Read_only
+    | Some { kind = Snapshot; _ } -> fail `Read_only
     | Some v ->
       let len = String.length data in
       if len = 0 || len mod block_size <> 0 then fail `Unaligned

@@ -1,5 +1,6 @@
 module Xxhash = Purity_util.Xxhash
 module Lru = Purity_util.Lru
+module Itbl = Purity_util.Keytbl.Int
 
 let block_size = 512
 
@@ -33,7 +34,7 @@ let zero_stats =
 
 type t = {
   cfg : config;
-  index : (int, source list) Hashtbl.t; (* truncated hash -> recorded anchors *)
+  index : source list Itbl.t; (* truncated hash -> recorded anchors *)
   window : (int, string) Lru.t; (* write_id -> payload, the recency window *)
   mutable next_write_id : int;
   mutable stats : stats;
@@ -42,7 +43,7 @@ type t = {
 let create ?(config = default_config) () =
   {
     cfg = config;
-    index = Hashtbl.create 4096;
+    index = Itbl.create 4096;
     window = Lru.create ~capacity:config.window_writes;
     next_write_id = 0;
     stats = zero_stats;
@@ -54,7 +55,9 @@ let stats t = t.stats
    so the hot register/lookup loop never boxes an [int64]. Collisions are
    verified away byte-wise below, exactly as the paper requires of its
    <= 64-bit hashes (§4.7). *)
-let block_hash t data block =
+let[@purity.lint.allow
+      "unsafe: read-only view of an immutable payload string; pos/len are \
+       bounds-checked by the caller's block arithmetic"] block_hash t data block =
   let h =
     Xxhash.hash63 (Bytes.unsafe_of_string data) ~pos:(block * block_size) ~len:block_size
   in
@@ -71,10 +74,10 @@ let register t data =
   let b = ref 0 in
   while !b < n do
     let h = block_hash t data !b in
-    let prev = Option.value ~default:[] (Hashtbl.find_opt t.index h) in
+    let prev = Option.value ~default:[] (Itbl.find_opt t.index h) in
     (* keep the anchor list short: newest few only *)
     let entry = { write_id = id; block = !b } in
-    Hashtbl.replace t.index h (entry :: (if List.length prev > 3 then [] else prev));
+    Itbl.replace t.index h (entry :: (if List.length prev > 3 then [] else prev));
     incr recorded;
     b := !b + t.cfg.record_every
   done;
@@ -92,7 +95,9 @@ let forget t ~write_id = Lru.remove t.window write_id
 (* Word-wise verify: 512-byte blocks compare as 64 aligned word loads.
    The XOR of the two words is tested through its two 32-bit halves —
    [Int64.to_int] alone would drop bit 63. *)
-let blocks_equal data b1 src_data b2 =
+let[@purity.lint.allow
+      "unsafe: read-only views for the word-wise compare; the guard above \
+       bounds b2 and callers bound b1"] blocks_equal data b1 src_data b2 =
   (b2 + 1) * block_size <= String.length src_data
   &&
   let a = Bytes.unsafe_of_string data and b = Bytes.unsafe_of_string src_data in
@@ -140,7 +145,7 @@ let find_duplicates t data =
     if b >= !covered_until then begin
       t.stats <- { t.stats with lookups = t.stats.lookups + 1 };
       let h = block_hash t data b in
-      match Hashtbl.find_opt t.index h with
+      match Itbl.find_opt t.index h with
       | None -> ()
       | Some candidates ->
         t.stats <- { t.stats with hash_hits = t.stats.hash_hits + 1 };

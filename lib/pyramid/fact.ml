@@ -4,13 +4,16 @@ type t = { key : string; value : string option; seq : int64 }
 
 let make ~key ~value ~seq = { key; value = Some value; seq }
 let tombstone ~key ~seq = { key; value = None; seq }
-let is_tombstone t = t.value = None
+let is_tombstone t = Option.is_none t.value
 
 let compare_key_seq a b =
   let c = String.compare a.key b.key in
   if c <> 0 then c else Int64.compare b.seq a.seq
 
-let equal a b = a.key = b.key && a.value = b.value && Int64.equal a.seq b.seq
+let equal a b =
+  String.equal a.key b.key
+  && Option.equal String.equal a.value b.value
+  && Int64.equal a.seq b.seq
 
 let encode buf t =
   Varint.write_i64 buf t.seq;

@@ -29,7 +29,7 @@ let make facts =
       let prev = ref "" in
       Array.iteri
         (fun i f ->
-          if i = 0 || f.Fact.key <> !prev then begin
+          if i = 0 || not (String.equal f.Fact.key !prev) then begin
             Bloom.add b f.Fact.key;
             prev := f.Fact.key
           end)
@@ -55,7 +55,7 @@ let dedup_sorted facts =
   Array.iter
     (fun f ->
       match !out with
-      | prev :: _ when prev.Fact.key = f.Fact.key && Int64.equal prev.Fact.seq f.Fact.seq -> ()
+      | prev :: _ when String.equal prev.Fact.key f.Fact.key && Int64.equal prev.Fact.seq f.Fact.seq -> ()
       | _ -> out := f :: !out)
     facts;
   Array.of_list (List.rev !out)
@@ -105,13 +105,13 @@ let bloom_admits t key = match t.bloom with None -> true | Some b -> Bloom.mem b
 let bloom_admits_hashed t hashes =
   match t.bloom with None -> true | Some b -> Bloom.mem_hashed b (Lazy.force hashes)
 
-let has_bloom t = t.bloom <> None
+let has_bloom t = Option.is_some t.bloom
 
 let find t key =
   let a = t.facts in
   let i = ref (lower_bound t key) in
   let acc = ref [] in
-  while !i < Array.length a && (a.(!i)).Fact.key = key do
+  while !i < Array.length a && String.equal (a.(!i)).Fact.key key do
     acc := a.(!i) :: !acc;
     incr i
   done;
@@ -119,7 +119,8 @@ let find t key =
 
 let find_latest t key =
   let i = lower_bound t key in
-  if i < Array.length t.facts && (t.facts.(i)).Fact.key = key then Some t.facts.(i) else None
+  if i < Array.length t.facts && String.equal (t.facts.(i)).Fact.key key then Some t.facts.(i)
+  else None
 
 (* Latest fact for [key] with seq <= [snapshot]. A key's facts sit
    newest-first, so the first admissible one wins; nothing is allocated
@@ -130,7 +131,7 @@ let find_latest_at t key ~snapshot =
   let i = ref (lower_bound t key) in
   let best = ref None in
   (try
-     while !i < n && (a.(!i)).Fact.key = key do
+     while !i < n && String.equal (a.(!i)).Fact.key key do
        if Int64.compare (a.(!i)).Fact.seq snapshot <= 0 then begin
          best := Some a.(!i);
          raise Exit
@@ -177,7 +178,7 @@ let merge a b =
   let out = ref [] in
   let push f =
     match !out with
-    | prev :: _ when prev.Fact.key = f.Fact.key && Int64.equal prev.Fact.seq f.Fact.seq -> ()
+    | prev :: _ when String.equal prev.Fact.key f.Fact.key && Int64.equal prev.Fact.seq f.Fact.seq -> ()
     | _ -> out := f :: !out
   in
   let i = ref 0 and j = ref 0 in
@@ -220,7 +221,9 @@ let compact_latest t ~drop_tombstones =
   let last_key = ref None in
   Array.iter
     (fun f ->
-      let fresh = match !last_key with Some k -> k <> f.Fact.key | None -> true in
+      let fresh =
+        match !last_key with Some k -> not (String.equal k f.Fact.key) | None -> true
+      in
       if fresh then begin
         last_key := Some f.Fact.key;
         if not (drop_tombstones && Fact.is_tombstone f) then out := f :: !out
@@ -255,7 +258,7 @@ let deserialize s =
          (Int32.logor (Int32.shift_left (b 2) 16) (Int32.shift_left (b 3) 24)))
   in
   let payload_pos = p + 4 in
-  if Crc32c.update 0l buf ~pos:payload_pos ~len:payload_len <> crc_stored then
+  if not (Int32.equal (Crc32c.update 0l buf ~pos:payload_pos ~len:payload_len) crc_stored) then
     invalid_arg "Patch.deserialize: CRC mismatch";
   let n, pos = Varint.read buf ~pos:payload_pos in
   let facts = ref [] in

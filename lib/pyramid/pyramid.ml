@@ -1,4 +1,5 @@
 module Ranges = Purity_encoding.Ranges
+module Stbl = Purity_util.Keytbl.Str
 
 type policy = Elide of (Fact.t -> int) | Tombstones
 
@@ -8,7 +9,7 @@ type t = {
   name : string;
   policy : policy;
   flush_count : int;
-  memtable : (string, Fact.t list) Hashtbl.t; (* key -> facts, newest first *)
+  memtable : Fact.t list Stbl.t; (* key -> facts, newest first *)
   mutable memtable_count : int;
   mutable patches : Patch.t list; (* shallowest (newest) first *)
   mutable elide_log : elide_entry list; (* newest first *)
@@ -28,7 +29,7 @@ let create ?(memtable_flush_count = 1024) ~policy ~name () =
     name;
     policy;
     flush_count = memtable_flush_count;
-    memtable = Hashtbl.create 64;
+    memtable = Stbl.create 64;
     memtable_count = 0;
     patches = [];
     elide_log = [];
@@ -68,18 +69,18 @@ let rec auto_compact t =
 
 let flush t =
   if t.memtable_count > 0 then begin
-    let facts = Hashtbl.fold (fun _ fs acc -> List.rev_append fs acc) t.memtable [] in
+    let facts = Stbl.fold (fun _ fs acc -> List.rev_append fs acc) t.memtable [] in
     t.patches <- Patch.of_facts facts :: t.patches;
-    Hashtbl.reset t.memtable;
+    Stbl.reset t.memtable;
     t.memtable_count <- 0;
     auto_compact t
   end
 
 let insert_fact t f =
-  let prev = Option.value ~default:[] (Hashtbl.find_opt t.memtable f.Fact.key) in
+  let prev = Option.value ~default:[] (Stbl.find_opt t.memtable f.Fact.key) in
   (* Idempotence at the earliest point: drop exact (key, seq) repeats. *)
   if not (List.exists (fun g -> Int64.equal g.Fact.seq f.Fact.seq) prev) then begin
-    Hashtbl.replace t.memtable f.Fact.key (f :: prev);
+    Stbl.replace t.memtable f.Fact.key (f :: prev);
     t.memtable_count <- t.memtable_count + 1;
     bump_seq t f.Fact.seq;
     if t.memtable_count >= t.flush_count then flush t
@@ -159,7 +160,7 @@ let latest_fact t ~snapshot key =
     | Some b when Int64.compare b.Fact.seq f.Fact.seq >= 0 -> ()
     | _ -> best := Some f
   in
-  (match Hashtbl.find_opt t.memtable key with
+  (match Stbl.find_opt t.memtable key with
   | Some fs ->
     List.iter (fun f -> if Int64.compare f.Fact.seq snapshot <= 0 then consider f) fs
   | None -> ());
@@ -198,7 +199,7 @@ let latest_fact_naive t ~snapshot key =
       | Some b when Int64.compare b.Fact.seq f.Fact.seq >= 0 -> ()
       | _ -> best := Some f
   in
-  (match Hashtbl.find_opt t.memtable key with
+  (match Stbl.find_opt t.memtable key with
   | Some fs -> List.iter consider fs
   | None -> ());
   List.iter (fun p -> List.iter consider (Patch.find p key)) t.patches;
@@ -243,7 +244,7 @@ let find_run ?(snapshot = no_snapshot) t ~n ~key_of ~index =
       | _ -> best.(slot) <- Some f
   in
   for i = 0 to n - 1 do
-    match Hashtbl.find_opt t.memtable (key_of i) with
+    match Stbl.find_opt t.memtable (key_of i) with
     | Some fs -> List.iter (consider i) fs
     | None -> ()
   done;
@@ -262,7 +263,7 @@ let find_run ?(snapshot = no_snapshot) t ~n ~key_of ~index =
   best
 
 let memtable_patch t =
-  Patch.of_facts (Hashtbl.fold (fun _ fs acc -> List.rev_append fs acc) t.memtable [])
+  Patch.of_facts (Stbl.fold (fun _ fs acc -> List.rev_append fs acc) t.memtable [])
 
 let merged_view t = Patch.merge_many (memtable_patch t :: t.patches)
 
@@ -271,7 +272,12 @@ let iter_live ?(snapshot = no_snapshot) t f =
   let current_key = ref None in
   let emitted = ref false in
   Patch.iter view (fun fact ->
-      (if !current_key <> Some fact.Fact.key then begin
+      let same_key =
+        match !current_key with
+        | Some k -> String.equal k fact.Fact.key
+        | None -> false
+      in
+      (if not same_key then begin
          current_key := Some fact.Fact.key;
          emitted := false
        end);
@@ -297,28 +303,28 @@ let range ?(snapshot = no_snapshot) t ~lo ~hi =
    per-key winner in a scratch table — maintenance paths (medium
    flattening, GC) call it in loops. *)
 let exists_live_in_range ?(snapshot = no_snapshot) t ~lo ~hi =
-  let best : (string, Fact.t) Hashtbl.t = Hashtbl.create 32 in
+  let best : Fact.t Stbl.t = Stbl.create 32 in
   let consider f =
     if
       Int64.compare f.Fact.seq snapshot <= 0
       && String.compare f.Fact.key lo >= 0
       && String.compare f.Fact.key hi <= 0
     then
-      match Hashtbl.find_opt best f.Fact.key with
+      match Stbl.find_opt best f.Fact.key with
       | Some b when Int64.compare b.Fact.seq f.Fact.seq >= 0 -> ()
-      | _ -> Hashtbl.replace best f.Fact.key f
+      | _ -> Stbl.replace best f.Fact.key f
   in
-  Hashtbl.iter (fun _ fs -> List.iter consider fs) t.memtable;
+  Stbl.iter (fun _ fs -> List.iter consider fs) t.memtable;
   List.iter
     (fun p -> if Patch.fence_overlaps p ~lo ~hi then Patch.iter_run p ~lo ~hi consider)
     t.patches;
   try
-    Hashtbl.iter
+    Stbl.iter
       (fun _ f ->
         if
           (not (Fact.is_tombstone f))
           && (not (elided_at t ~snapshot f))
-          && f.Fact.value <> None
+          && Option.is_some f.Fact.value
         then raise Exit)
       best;
     false

@@ -76,7 +76,7 @@ let stats t = t.stats
 
 (* The frozen medium a snapshot handle references. *)
 let snap_medium st snap_name =
-  match Hashtbl.find_opt st.State.volumes snap_name with
+  match State.Stbl.find_opt st.State.volumes snap_name with
   | Some v -> (
     match Medium.extents st.State.medium_table v.State.medium with
     | [ { Medium.target = Medium.Underlying { medium; _ }; _ } ] -> Some medium
@@ -146,11 +146,12 @@ type cycle_report = {
 
 let ensure_target_volume t name blocks =
   if Fa.volume_exists t.target name then begin
-    let current =
-      List.assoc name
-        (List.map (fun (n, _, b) -> (n, b)) (Fa.list_volumes t.target))
-    in
-    if blocks > current then ignore (Fa.resize_volume t.target name ~blocks)
+    match
+      List.find_opt (fun (n, _, _) -> String.equal n name) (Fa.list_volumes t.target)
+    with
+    | Some (_, _, current) when blocks > current ->
+      ignore (Fa.resize_volume t.target name ~blocks)
+    | Some _ | None -> ()
   end
   else ignore (Fa.create_volume t.target name ~blocks)
 
@@ -177,12 +178,16 @@ let replicate_once t volume k =
   | Error _ -> invalid_arg "Replication: source snapshot failed");
   let st = Fa.state t.source in
   let size =
-    match Hashtbl.find_opt st.State.volumes volume with
+    match State.Stbl.find_opt st.State.volumes volume with
     | Some v -> v.State.blocks
     | None -> 0
   in
   ensure_target_volume t volume size;
-  let new_medium = Option.get (snap_medium st snap_name) in
+  let new_medium =
+    match snap_medium st snap_name with
+    | Some m -> m
+    | None -> invalid_arg "Replication: snapshot medium missing after snapshot"
+  in
   let prev_medium =
     match p.last_snap with Some s -> snap_medium st s | None -> None
   in

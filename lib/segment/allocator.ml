@@ -1,4 +1,5 @@
 module Varint = Purity_util.Varint
+module Ptbl = Purity_util.Keytbl.Ipair
 
 type t = {
   layout : Layout.t;
@@ -6,7 +7,7 @@ type t = {
   aus_per_drive : int;
   frontier_per_drive : int;
   free : int Queue.t array; (* per-drive free AU indices *)
-  used : (int * int, unit) Hashtbl.t; (* (drive, au) holding live segments *)
+  used : unit Ptbl.t; (* (drive, au) holding live segments *)
   mutable frontier : Segment.member list list;
       (* available allocation slots, grouped per refill batch; flattened view
          is the allocatable pool *)
@@ -33,7 +34,7 @@ let create ~layout ~drives ~aus_per_drive ?(frontier_per_drive = 8) () =
     aus_per_drive;
     frontier_per_drive;
     free;
-    used = Hashtbl.create 256;
+    used = Ptbl.create 256;
     frontier = [];
     persisted = [];
     speculative = [];
@@ -43,13 +44,13 @@ let create ~layout ~drives ~aus_per_drive ?(frontier_per_drive = 8) () =
   }
 
 let dedupe members =
-  let seen = Hashtbl.create 64 in
+  let seen = Ptbl.create 64 in
   List.filter
     (fun (m : Segment.member) ->
       let key = (m.Segment.drive, m.Segment.au) in
-      if Hashtbl.mem seen key then false
+      if Ptbl.mem seen key then false
       else begin
-        Hashtbl.replace seen key ();
+        Ptbl.replace seen key ();
         true
       end)
     members
@@ -69,9 +70,10 @@ let take_batch t =
 (* Refill: promote the speculative set to the live frontier and draw a new
    speculative batch; both become the persisted snapshot. *)
 let refill t =
-  let promoted = if t.speculative = [] then take_batch t else t.speculative in
+  let promoted = match t.speculative with [] -> take_batch t | s -> s in
   let next_spec = take_batch t in
-  if promoted <> [] || next_spec <> [] then begin
+  let non_empty = function [] -> false | _ :: _ -> true in
+  if non_empty promoted || non_empty next_spec then begin
     t.frontier <- t.frontier @ [ promoted ];
     t.speculative <- next_spec;
     t.persisted <- t.allocated_since_mark @ List.concat t.frontier @ t.speculative;
@@ -84,11 +86,11 @@ let pop_member t ~drive =
   (* Remove one frontier slot on [drive]; returns it. *)
   let found = ref None in
   let strip group =
-    if !found <> None then group
+    if Option.is_some !found then group
     else begin
       let rec go acc = function
         | [] -> List.rev acc
-        | (m : Segment.member) :: rest when m.Segment.drive = drive && !found = None ->
+        | (m : Segment.member) :: rest when m.Segment.drive = drive && Option.is_none !found ->
           found := Some m;
           List.rev_append acc rest
         | m :: rest -> go (m :: acc) rest
@@ -125,7 +127,7 @@ let allocate t ~online =
       in
       t.rotation <- (t.rotation + 1) mod t.drives;
       let arr = Array.of_list members in
-      Array.iter (fun (m : Segment.member) -> Hashtbl.replace t.used (m.Segment.drive, m.Segment.au) ()) arr;
+      Array.iter (fun (m : Segment.member) -> Ptbl.replace t.used (m.Segment.drive, m.Segment.au) ()) arr;
       t.allocated_since_mark <- members @ t.allocated_since_mark;
       Some arr
     end
@@ -144,7 +146,7 @@ let allocate_one t ~allowed =
     | [] -> None
     | d :: _ ->
       let m = match pop_member t ~drive:d with Some m -> m | None -> assert false in
-      Hashtbl.replace t.used (m.Segment.drive, m.Segment.au) ();
+      Ptbl.replace t.used (m.Segment.drive, m.Segment.au) ();
       t.allocated_since_mark <- m :: t.allocated_since_mark;
       Some m
   in
@@ -157,7 +159,7 @@ let allocate_one t ~allowed =
 let release t members =
   Array.iter
     (fun (m : Segment.member) ->
-      Hashtbl.remove t.used (m.Segment.drive, m.Segment.au);
+      Ptbl.remove t.used (m.Segment.drive, m.Segment.au);
       if m.Segment.drive >= 0 && m.Segment.drive < t.drives then
         Queue.add m.Segment.au t.free.(m.Segment.drive))
     members
@@ -172,8 +174,8 @@ let remove_free t ~drive ~au =
 let mark_used t members =
   Array.iter
     (fun (m : Segment.member) ->
-      if not (Hashtbl.mem t.used (m.Segment.drive, m.Segment.au)) then begin
-        Hashtbl.replace t.used (m.Segment.drive, m.Segment.au) ();
+      if not (Ptbl.mem t.used (m.Segment.drive, m.Segment.au)) then begin
+        Ptbl.replace t.used (m.Segment.drive, m.Segment.au) ();
         remove_free t ~drive:m.Segment.drive ~au:m.Segment.au;
         (* the AU may sit in the allocatable pools (recovery restores the
            frontier before segments are rediscovered): never hand it out *)
@@ -186,7 +188,7 @@ let mark_used t members =
     members
 
 let free_au_count t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.free
-let used_au_count t = Hashtbl.length t.used
+let used_au_count t = Ptbl.length t.used
 let persisted_frontier t = t.persisted
 let persist_generation t = t.generation
 
@@ -215,7 +217,7 @@ let restore_persisted t s =
   t.persisted <- members;
   (* Frontier members not marked used are allocatable again; exclude them
      from the free queues so they are not handed out twice. *)
-  let fresh = List.filter (fun (m : Segment.member) -> not (Hashtbl.mem t.used (m.Segment.drive, m.Segment.au))) members in
+  let fresh = List.filter (fun (m : Segment.member) -> not (Ptbl.mem t.used (m.Segment.drive, m.Segment.au))) members in
   List.iter (fun (m : Segment.member) -> remove_free t ~drive:m.Segment.drive ~au:m.Segment.au) fresh;
   t.frontier <- [ fresh ];
   t.speculative <- []

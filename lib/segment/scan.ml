@@ -22,7 +22,7 @@ let scan_slots ~layout ~shelf ?claims slots k =
                  be reused by a newer segment while stale siblings keep the
                  old id, so a member list alone does not prove ownership *)
               (match claims with
-              | Some c -> Hashtbl.replace c (m.Segment.drive, m.Segment.au) seg.Segment.id
+              | Some c -> Purity_util.Keytbl.Ipair.replace c (m.Segment.drive, m.Segment.au) seg.Segment.id
               | None -> ());
               if not (Hashtbl.mem found seg.Segment.id) then Hashtbl.replace found seg.Segment.id seg
             | None -> ())

@@ -19,7 +19,7 @@
 val scan_all :
   layout:Layout.t ->
   shelf:Purity_ssd.Shelf.t ->
-  ?claims:(int * int, int) Hashtbl.t ->
+  ?claims:int Purity_util.Keytbl.Ipair.t ->
   (Segment.t list -> unit) ->
   unit
 (** Callback receives all discovered segments, ordered by id. When
@@ -31,7 +31,7 @@ val scan_all :
 val scan_members :
   layout:Layout.t ->
   shelf:Purity_ssd.Shelf.t ->
-  ?claims:(int * int, int) Hashtbl.t ->
+  ?claims:int Purity_util.Keytbl.Ipair.t ->
   Segment.member list ->
   (Segment.t list -> unit) ->
   unit

@@ -52,7 +52,7 @@ let encode_header layout t ~shard =
 
 let decode_header page =
   if Bytes.length page < 16 then None
-  else if Bytes.sub_string page 0 4 <> magic then None
+  else if not (String.equal (Bytes.sub_string page 0 4) magic) then None
   else begin
     try
       let crc_stored =
@@ -64,7 +64,7 @@ let decode_header page =
       in
       let meta_len, p = Varint.read page ~pos:8 in
       if p + meta_len > Bytes.length page then None
-      else if Crc32c.update 0l page ~pos:p ~len:meta_len <> crc_stored then None
+      else if not (Int32.equal (Crc32c.update 0l page ~pos:p ~len:meta_len) crc_stored) then None
       else begin
         let id, p = Varint.read page ~pos:p in
         let _shard, p = Varint.read page ~pos:p in

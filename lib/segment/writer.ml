@@ -85,7 +85,7 @@ let append_log t ~seq record =
   if Buffer.length frame > remaining t then false
   else begin
     Buffer.add_buffer t.log frame;
-    if t.seq_lo = 0L || Int64.compare seq t.seq_lo < 0 then t.seq_lo <- seq;
+    if Int64.equal t.seq_lo 0L || Int64.compare seq t.seq_lo < 0 then t.seq_lo <- seq;
     if Int64.compare seq t.seq_hi > 0 then t.seq_hi <- seq;
     true
   end

@@ -1,0 +1,39 @@
+(* Specialized hash tables for the data/metadata hot paths. The generic
+   [Hashtbl] interface hashes and compares through the polymorphic runtime
+   primitives — a structural-traversal C call per probe, dispatching on the
+   value's runtime shape. These instantiations bind [equal]/[hash] at the
+   key type, so probes on the hot paths monomorphize.
+
+   The hash functions are deliberately value-identical to [Hashtbl.hash]
+   ([String.hash] is specified to agree with it), so swapping a polymorphic
+   table for one of these preserves bucket layout and therefore iteration
+   order — behaviour stays byte-identical, which the pyramid/dedup qcheck
+   suites assert. *)
+
+module Str = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = String.hash
+end)
+
+module Int = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Stdlib.Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module I64 = Hashtbl.Make (struct
+  type t = int64
+
+  let equal = Int64.equal
+  let hash = Hashtbl.hash
+end)
+
+module Ipair = Hashtbl.Make (struct
+  type t = int * int
+
+  let equal (a1, b1) (a2, b2) = a1 = a2 && b1 = b2
+  let hash = Hashtbl.hash
+end)

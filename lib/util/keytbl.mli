@@ -1,0 +1,10 @@
+(** Specialized hash tables for the hot paths: [Hashtbl.Make]
+    instantiations whose [equal]/[hash] are bound at the key type, so
+    probes avoid the polymorphic structural-comparison primitives. Hash
+    values agree with [Hashtbl.hash], so bucket layout (and therefore
+    iteration order) is identical to the generic tables they replace. *)
+
+module Str : Hashtbl.S with type key = string
+module Int : Hashtbl.S with type key = int
+module I64 : Hashtbl.S with type key = int64
+module Ipair : Hashtbl.S with type key = int * int

@@ -1,0 +1,111 @@
+(* The checked-in baseline acknowledges intentional pre-existing sites at
+   file granularity, so the tree lints clean without scattering attributes
+   over code that predates the rule. Format, one entry per line:
+
+     <rule> <file> [-- note]
+
+   e.g.  unsafe lib/core/keys.ml -- zero-copy key encode/decode
+
+   An entry suppresses every finding of <rule> whose path ends with <file>.
+   Entries that suppress nothing are stale and reported as errors, exactly
+   like stale in-source waivers. *)
+
+type entry = {
+  b_rule : Finding.rule;
+  b_file : string;
+  b_note : string;
+  b_line : int;  (* line in the baseline file, for stale reports *)
+  mutable b_hits : int;
+}
+
+let parse ~path contents =
+  let errors = ref [] in
+  let entries = ref [] in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line =
+        match String.index_opt line '#' with
+        | Some 0 -> ""
+        | _ -> line
+      in
+      let body, note =
+        match Rules.contains_sub line " -- " with
+        | false -> (line, "")
+        | true ->
+          let rec find i =
+            if i + 4 > String.length line then (line, "")
+            else if String.sub line i 4 = " -- " then
+              ( String.sub line 0 i,
+                String.sub line (i + 4) (String.length line - i - 4) )
+            else find (i + 1)
+          in
+          find 0
+      in
+      match String.split_on_char ' ' (String.trim body) |> List.filter (( <> ) "") with
+      | [] -> ()
+      | [ rule_s; file ] -> (
+        match Finding.rule_of_name rule_s with
+        | Some r ->
+          entries :=
+            { b_rule = r; b_file = file; b_note = String.trim note; b_line = lineno; b_hits = 0 }
+            :: !entries
+        | None ->
+          errors :=
+            Finding.v ~rule:Waiver ~file:path ~line:lineno ~col:0
+              (Printf.sprintf "unknown rule %S in baseline entry" rule_s)
+            :: !errors)
+      | _ ->
+        errors :=
+          Finding.v ~rule:Waiver ~file:path ~line:lineno ~col:0
+            "malformed baseline entry (expected: <rule> <file> [-- note])"
+          :: !errors)
+    contents;
+  (List.rev !entries, List.rev !errors)
+
+let load path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  close_in ic;
+  parse ~path (List.rev !lines)
+
+(* Partition findings through the baseline; returns (kept, suppressed
+   count). Stale entries are appended to [kept] as errors afterwards via
+   [stale]. *)
+let apply entries findings =
+  let suppressed = ref 0 in
+  let kept =
+    List.filter
+      (fun (f : Finding.t) ->
+        match
+          List.find_opt
+            (fun e -> e.b_rule = f.Finding.rule && Rules.suffix_matches f.Finding.file e.b_file)
+            entries
+        with
+        | Some e ->
+          e.b_hits <- e.b_hits + 1;
+          incr suppressed;
+          false
+        | None -> true)
+      findings
+  in
+  (kept, !suppressed)
+
+let stale ~path entries =
+  List.filter_map
+    (fun e ->
+      if e.b_hits > 0 then None
+      else
+        Some
+          (Finding.v ~rule:Waiver ~file:path ~line:e.b_line ~col:0
+             (Printf.sprintf
+                "stale baseline entry: rule %S no longer fires in %s%s — delete \
+                 this line"
+                (Finding.rule_name e.b_rule) e.b_file
+                (if e.b_note = "" then "" else Printf.sprintf " (note was: %s)" e.b_note))))
+    entries

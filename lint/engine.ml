@@ -1,0 +1,248 @@
+(* The typed-AST walk. One [check_cmt] call loads a .cmt produced by dune,
+   runs every rule over its implementation with a [Tast_iterator], applies
+   in-source [@purity.lint.allow "<rule>: <reason>"] waivers scoped to the
+   annotated binding/expression, and reports stale waivers (a waiver that
+   suppressed nothing) as errors of their own. *)
+
+type waiver = {
+  w_rule : Finding.rule;
+  w_reason : string;
+  w_loc : Location.t;
+  mutable w_hits : int;
+}
+
+type result = {
+  findings : Finding.t list;  (* unwaived findings, including stale waivers *)
+  waived : int;  (* findings suppressed by an in-source waiver *)
+  waivers : int;  (* waivers present in the file *)
+}
+
+let attr_name = "purity.lint.allow"
+
+let payload_string (p : Parsetree.payload) =
+  match p with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Some s
+  | _ -> None
+
+let split_waiver s =
+  match String.index_opt s ':' with
+  | None -> (String.trim s, "")
+  | Some i ->
+    ( String.trim (String.sub s 0 i),
+      String.trim (String.sub s (i + 1) (String.length s - i - 1)) )
+
+(* ---- type inspection (no Env needed: get_desc follows links only) ---- *)
+
+let rec arrow_params ty =
+  match Types.get_desc ty with
+  | Tarrow (_, a, b, _) ->
+    let ps, r = arrow_params b in
+    (a :: ps, r)
+  | _ -> ([], ty)
+
+let is_immediate ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) ->
+    Path.same p Predef.path_int
+    || Path.same p Predef.path_char
+    || Path.same p Predef.path_bool
+    || Path.same p Predef.path_unit
+  | _ -> false
+
+let is_tvar ty = match Types.get_desc ty with Tvar _ -> true | _ -> false
+
+let type_to_string ty =
+  try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "_"
+
+(* key type of the [('k, 'v) Hashtbl.t] a polymorphic-Hashtbl function is
+   applied at; [None] when it cannot be determined *)
+let hashtbl_key_type name ty =
+  let params, ret = arrow_params ty in
+  let table_ty =
+    if name = "Hashtbl.create" then Some ret
+    else match params with t :: _ -> Some t | [] -> None
+  in
+  match table_ty with
+  | None -> None
+  | Some t -> (
+    match Types.get_desc t with Tconstr (_, [ k; _ ], _) -> Some k | _ -> None)
+
+(* ---- the per-file walk ---- *)
+
+let check_structure (cfg : Rules.config) ~source_file (str : Typedtree.structure) :
+    result =
+  let findings = ref [] in
+  let waived = ref 0 in
+  let all_waivers = ref [] in
+  let active = ref [] in
+  let emit ~loc rule message =
+    match List.find_opt (fun w -> w.w_rule = rule) !active with
+    | Some w ->
+      w.w_hits <- w.w_hits + 1;
+      incr waived
+    | None ->
+      findings := Finding.of_loc ~rule ~file:source_file loc message :: !findings
+  in
+  (* waiver parse errors are never themselves waivable *)
+  let emit_bad loc message =
+    findings := Finding.of_loc ~rule:Waiver ~file:source_file loc message :: !findings
+  in
+  let parse_waivers (attrs : Parsetree.attributes) =
+    List.filter_map
+      (fun (a : Parsetree.attribute) ->
+        if a.attr_name.txt <> attr_name then None
+        else
+          match payload_string a.attr_payload with
+          | None ->
+            emit_bad a.attr_loc
+              "waiver payload must be a string literal: [@purity.lint.allow \
+               \"<rule>: <reason>\"]";
+            None
+          | Some s -> (
+            let rule_s, reason = split_waiver s in
+            match Finding.rule_of_name rule_s with
+            | None ->
+              emit_bad a.attr_loc
+                (Printf.sprintf "unknown rule %S in waiver (expected one of \
+                                 determinism/unsafe/hotpath/partial)" rule_s);
+              None
+            | Some r -> Some { w_rule = r; w_reason = reason; w_loc = a.attr_loc; w_hits = 0 }))
+      attrs
+  in
+  let with_waivers attrs f =
+    match parse_waivers attrs with
+    | [] -> f ()
+    | ws ->
+      all_waivers := ws @ !all_waivers;
+      active := ws @ !active;
+      f ();
+      active := List.filter (fun w -> not (List.memq w ws)) !active
+  in
+  let hot = Rules.in_hot_path cfg source_file in
+  let recovery = Rules.in_recovery cfg source_file in
+  let audited = Rules.is_audited cfg source_file in
+  let check_ident ~loc name (e : Typedtree.expression) =
+    if Rules.determinism_violation name then
+      emit ~loc Determinism
+        (Printf.sprintf
+           "%s reads ambient time/entropy and breaks per-seed replay; use the \
+            sim clock or a seeded Purity_util.Rng"
+           name)
+    else if (not audited) && Rules.unsafe_violation name then
+      emit ~loc Unsafe
+        (Printf.sprintf
+           "%s outside the audited kernel modules; move it behind an audited \
+            kernel or waive it with a reason"
+           name)
+    else begin
+      if recovery && Rules.partial_violation name then
+        emit ~loc Partial
+          (Printf.sprintf
+             "partial %s in recovery/replication code: an exception here is a \
+              failed failover; match explicitly"
+             name);
+      if hot then begin
+        if List.mem name Rules.poly_compare then begin
+          match arrow_params e.Typedtree.exp_type with
+          | a :: _, _ when (not (is_immediate a)) && not (is_tvar a) ->
+            emit ~loc Hotpath
+              (Printf.sprintf
+                 "polymorphic %s at type %s in a hot-path module; use a \
+                  specialized comparison (String.equal, Int64.compare, ...)"
+                 (if name = "compare" then "compare" else Printf.sprintf "(%s)" name)
+                 (type_to_string a))
+          | _ -> ()
+        end
+        else if name = "Hashtbl.hash" then begin
+          match arrow_params e.Typedtree.exp_type with
+          | a :: _, _ when (not (is_immediate a)) && not (is_tvar a) ->
+            emit ~loc Hotpath
+              (Printf.sprintf
+                 "polymorphic Hashtbl.hash at type %s in a hot-path module; \
+                  use a specialized hash (String.hash, Purity_util.Xxhash)"
+                 (type_to_string a))
+          | _ -> ()
+        end
+        else if List.mem name Rules.hashtbl_funcs then begin
+          match hashtbl_key_type name e.Typedtree.exp_type with
+          | Some k when (not (is_immediate k)) && not (is_tvar k) ->
+            emit ~loc Hotpath
+              (Printf.sprintf
+                 "%s with non-primitive key type %s in a hot-path module; use \
+                  Hashtbl.Make with a specialized key module \
+                  (Purity_util.Keytbl)"
+                 name (type_to_string k))
+          | _ -> ()
+        end
+      end
+    end
+  in
+  let default = Tast_iterator.default_iterator in
+  let expr sub (e : Typedtree.expression) =
+    with_waivers e.exp_attributes (fun () ->
+        (match e.exp_desc with
+        | Texp_ident (path, lid, _) ->
+          check_ident ~loc:lid.loc (Rules.strip_stdlib (Path.name path)) e
+        | _ -> ());
+        default.expr sub e)
+  in
+  let value_binding sub (vb : Typedtree.value_binding) =
+    with_waivers vb.vb_attributes (fun () -> default.value_binding sub vb)
+  in
+  let iter = { default with expr; value_binding } in
+  (* floating [@@@purity.lint.allow "..."] attributes waive the whole file *)
+  let floating =
+    List.concat_map
+      (fun (item : Typedtree.structure_item) ->
+        match item.str_desc with Tstr_attribute a -> [ a ] | _ -> [])
+      str.str_items
+  in
+  let file_waivers = parse_waivers floating in
+  all_waivers := file_waivers @ !all_waivers;
+  active := file_waivers @ !active;
+  iter.structure iter str;
+  List.iter
+    (fun w ->
+      if w.w_hits = 0 then
+        findings :=
+          Finding.of_loc ~rule:Waiver ~file:source_file w.w_loc
+            (Printf.sprintf
+               "stale waiver: rule %S no longer fires here%s — delete the \
+                [@purity.lint.allow] attribute"
+               (Finding.rule_name w.w_rule)
+               (if w.w_reason = "" then "" else Printf.sprintf " (reason was: %s)" w.w_reason))
+          :: !findings)
+    !all_waivers;
+  {
+    findings = List.sort Finding.order !findings;
+    waived = !waived;
+    waivers = List.length !all_waivers;
+  }
+
+(* ---- cmt loading ---- *)
+
+let source_of_cmt (cmt : Cmt_format.cmt_infos) =
+  match cmt.cmt_sourcefile with
+  | Some f -> f
+  | None -> cmt.cmt_modname ^ ".ml"
+
+(* [Ok None] = not an implementation cmt (interface, pack, partial) *)
+let check_cmt (cfg : Rules.config) path : ((string * result) option, string) Stdlib.result =
+  match Cmt_format.read_cmt path with
+  | exception exn ->
+    Error (Printf.sprintf "%s: cannot read cmt (%s)" path (Printexc.to_string exn))
+  | cmt -> (
+    let source_file = source_of_cmt cmt in
+    if Rules.is_excluded cfg source_file then Ok None
+    else
+      match cmt.cmt_annots with
+      | Implementation str -> Ok (Some (source_file, check_structure cfg ~source_file str))
+      | _ -> Ok None)

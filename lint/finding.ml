@@ -1,0 +1,65 @@
+(* A finding is one rule violation at one source location. Rules carry a
+   fixed severity; any unwaived finding (of either severity) fails the
+   build — severity only grades how the report reads. *)
+
+type rule =
+  | Determinism  (* wall clock / global RNG in engine code *)
+  | Unsafe  (* unchecked accessors & casts outside audited kernels *)
+  | Hotpath  (* polymorphic hash/compare at non-primitive types *)
+  | Partial  (* exception-raising partial functions in failover code *)
+  | Waiver  (* stale or malformed [@purity.lint.allow] / baseline row *)
+
+let rule_name = function
+  | Determinism -> "determinism"
+  | Unsafe -> "unsafe"
+  | Hotpath -> "hotpath"
+  | Partial -> "partial"
+  | Waiver -> "waiver"
+
+(* [Waiver] is deliberately absent: stale-waiver errors cannot themselves
+   be waived or baselined away. *)
+let rule_of_name = function
+  | "determinism" -> Some Determinism
+  | "unsafe" -> Some Unsafe
+  | "hotpath" -> Some Hotpath
+  | "partial" -> Some Partial
+  | _ -> None
+
+type severity = Error | Warning
+
+let severity_name = function Error -> "error" | Warning -> "warning"
+
+let severity_of_rule = function
+  | Determinism | Unsafe | Waiver -> Error
+  | Hotpath | Partial -> Warning
+
+type t = {
+  rule : rule;
+  severity : severity;
+  file : string;  (* path as recorded at compile time, e.g. lib/core/state.ml *)
+  line : int;  (* 1-based *)
+  col : int;  (* 0-based, like the compiler's own reports *)
+  message : string;
+}
+
+let v ~rule ~file ~line ~col message =
+  { rule; severity = severity_of_rule rule; file; line; col; message }
+
+let of_loc ~rule ~file (loc : Location.t) message =
+  let p = loc.loc_start in
+  v ~rule ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) message
+
+(* file, then position, then rule name: stable report order *)
+let order a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (rule_name a.rule) (rule_name b.rule)
+
+let to_string f =
+  Printf.sprintf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col
+    (severity_name f.severity) (rule_name f.rule) f.message

@@ -1,0 +1,56 @@
+(* Library interface + driver: scan build dirs for .cmt files, run the
+   engine over each, fold in the baseline, produce a summary. *)
+
+module Finding = Finding
+module Rules = Rules
+module Engine = Engine
+module Baseline = Baseline
+module Report = Report
+
+(* All .cmt files under [roots] (skipping excluded paths), sorted for
+   deterministic report order. *)
+let scan_cmts (cfg : Rules.config) ~roots =
+  let acc = ref [] in
+  let rec walk dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | entries ->
+      Array.sort String.compare entries;
+      Array.iter
+        (fun name ->
+          let path = Filename.concat dir name in
+          if Rules.is_excluded cfg path then ()
+          else if Sys.is_directory path then walk path
+          else if Filename.check_suffix name ".cmt" then acc := path :: !acc)
+        entries
+  in
+  List.iter (fun r -> if Sys.file_exists r && Sys.is_directory r then walk r) roots;
+  List.sort String.compare !acc
+
+let run (cfg : Rules.config) ~baseline ~baseline_path cmts : Report.summary =
+  let files = ref 0 in
+  let findings = ref [] in
+  let waived = ref 0 in
+  let waivers = ref 0 in
+  let read_errors = ref [] in
+  List.iter
+    (fun cmt ->
+      match Engine.check_cmt cfg cmt with
+      | Error e -> read_errors := e :: !read_errors
+      | Ok None -> ()
+      | Ok (Some (_source, r)) ->
+        incr files;
+        findings := r.Engine.findings @ !findings;
+        waived := !waived + r.Engine.waived;
+        waivers := !waivers + r.Engine.waivers)
+    cmts;
+  let kept, suppressed = Baseline.apply baseline !findings in
+  let stale = Baseline.stale ~path:baseline_path baseline in
+  {
+    Report.files = !files;
+    findings = List.sort Finding.order (stale @ kept);
+    waived = !waived;
+    waivers = !waivers;
+    baseline_suppressed = suppressed;
+    read_errors = List.rev !read_errors;
+  }

@@ -1,0 +1,122 @@
+(* Rule configuration: which files each rule class applies to, and the
+   banned-identifier tables. Paths are matched against the source path the
+   compiler recorded (relative to the build root, e.g. "lib/core/state.ml"),
+   so the same config works from the dune rule and from tests. *)
+
+type config = {
+  hot_path_dirs : string list;
+      (* dir substrings where the hot-path hygiene rules apply *)
+  recovery_files : string list;
+      (* path suffixes where partial functions are flagged *)
+  audited_unsafe : string list;
+      (* basenames allowed to use unchecked accessors *)
+  exclude : string list;
+      (* path substrings skipped entirely (planted test fixtures) *)
+}
+
+let default =
+  {
+    hot_path_dirs = [ "lib/pyramid/"; "lib/segment/"; "lib/dedup/"; "lib/core/" ];
+    recovery_files =
+      [
+        "lib/core/recovery.ml";
+        "lib/core/checkpoint.ml";
+        "lib/core/boot_region.ml";
+        "lib/replication/replication.ml";
+      ];
+    audited_unsafe =
+      [ "word.ml"; "crc32c.ml"; "xxhash.ml"; "gf256.ml"; "lz.ml"; "bloom.ml" ];
+    exclude = [ "lint_fixtures" ];
+  }
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let suffix_matches path suf =
+  String.length path >= String.length suf
+  && String.sub path (String.length path - String.length suf) (String.length suf)
+     = suf
+
+let in_hot_path cfg path = List.exists (contains_sub path) cfg.hot_path_dirs
+let in_recovery cfg path = List.exists (suffix_matches path) cfg.recovery_files
+let is_audited cfg path = List.mem (Filename.basename path) cfg.audited_unsafe
+let is_excluded cfg path = List.exists (contains_sub path) cfg.exclude
+
+(* ---- banned identifiers (matched on Path.name with "Stdlib." stripped) ---- *)
+
+let strip_stdlib name =
+  if String.length name > 7 && String.sub name 0 7 = "Stdlib." then
+    String.sub name 7 (String.length name - 7)
+  else name
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* Wall-clock / process-time reads that break per-seed replay. *)
+let determinism_banned =
+  [
+    "Sys.time";
+    "Unix.gettimeofday";
+    "Unix.time";
+    "Unix.times";
+    "Unix.localtime";
+    "Unix.gmtime";
+    "Unix.mktime";
+    "Unix.sleep";
+    "Unix.sleepf";
+  ]
+
+(* Global-state [Random] is nondeterministic under any reordering of
+   callers; [Random.State] with an explicit seeded state is fine (and the
+   engine's own [Purity_util.Rng] is the preferred source anyway). *)
+let determinism_violation name =
+  List.mem name determinism_banned
+  || (starts_with ~prefix:"Random." name
+     && not (starts_with ~prefix:"Random.State." name))
+
+(* Unchecked accessors and casts: [Bytes.unsafe_get], [String.unsafe_blit],
+   [Array.unsafe_set], [Bytes.unsafe_of_string], [Obj.magic], ... — any
+   "unsafe_"-prefixed value of the stdlib buffer/array modules. *)
+let unsafe_modules =
+  [
+    "Bytes"; "String"; "Array"; "Bigarray"; "Float.Array";
+    "BytesLabels"; "StringLabels"; "ArrayLabels"; "Float.ArrayLabels";
+  ]
+
+let unsafe_violation name =
+  name = "Obj.magic"
+  ||
+  match String.rindex_opt name '.' with
+  | None -> false
+  | Some i ->
+    List.mem (String.sub name 0 i) unsafe_modules
+    && starts_with ~prefix:"unsafe_"
+         (String.sub name (i + 1) (String.length name - i - 1))
+
+(* Partial functions whose exception in recovery/replication code turns a
+   recoverable fault into a failed failover. *)
+let partial_banned =
+  [ "List.hd"; "List.tl"; "List.nth"; "List.assoc"; "List.find"; "Option.get" ]
+
+let partial_violation name = List.mem name partial_banned
+
+(* Polymorphic structural comparison: fine on immediates, a generic
+   C-call dispatch everywhere else. *)
+let poly_compare = [ "="; "<>"; "compare" ]
+
+(* The polymorphic-hash Hashtbl interface; flagged at non-primitive key
+   types in hot-path modules (use Hashtbl.Make / Purity_util.Stbl). *)
+let hashtbl_funcs =
+  [
+    "Hashtbl.create";
+    "Hashtbl.add";
+    "Hashtbl.replace";
+    "Hashtbl.find";
+    "Hashtbl.find_opt";
+    "Hashtbl.find_all";
+    "Hashtbl.mem";
+    "Hashtbl.remove";
+  ]

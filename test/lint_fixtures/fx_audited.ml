@@ -1,0 +1,3 @@
+(* Same unsafe access as fx_unsafe.ml, but the test config lists this
+   basename as audited — nothing may fire here. *)
+let first b = Bytes.unsafe_get b 0

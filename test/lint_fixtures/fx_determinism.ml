@@ -1,0 +1,8 @@
+(* Planted determinism violations: line numbers are asserted by
+   test_lint.ml — keep the banned calls on lines 3 and 5. *)
+let wall () = Unix.gettimeofday ()
+
+let dice () = Random.int 6
+
+(* Seeded state is allowed: must NOT fire. *)
+let ok () = Random.State.int (Random.State.make [| 42 |]) 6

@@ -1,0 +1,18 @@
+(* Planted hot-path hygiene violations (the test config marks this
+   directory hot). Lines asserted by test_lint.ml. *)
+let eq_str (a : string) (b : string) = a = b
+
+let cmp_pair (a : int * int) (b : int * int) = compare a b
+
+let hash_str (s : string) = Hashtbl.hash s
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 16
+
+let probe k = Hashtbl.find_opt table k
+
+(* Immediate keys and immediate compares are fine: must NOT fire. *)
+let eq_int (a : int) (b : int) = a = b
+
+let itable : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let iprobe k = Hashtbl.find_opt itable k

@@ -1,0 +1,8 @@
+(* Planted partial functions; the test config lists this file under
+   recovery_files. Lines asserted by test_lint.ml. *)
+let head xs = List.hd xs
+
+let got x = Option.get x
+
+(* Total equivalents: must NOT fire. *)
+let head_opt xs = match xs with [] -> None | x :: _ -> Some x

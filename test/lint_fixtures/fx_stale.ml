@@ -1,0 +1,3 @@
+(* A waiver with nothing to waive: purity.lint must report it stale. *)
+let[@purity.lint.allow "determinism: nothing here reads a clock"] add a b =
+  a + b

@@ -1,0 +1,3 @@
+(* Planted unsafe access in a module the test config does NOT audit:
+   the unsafe_get on line 3 must fire. *)
+let first b = Bytes.unsafe_get b 0

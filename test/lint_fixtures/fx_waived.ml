@@ -1,0 +1,5 @@
+(* A violation identical to fx_unsafe.ml's, but waived in source: the
+   finding must be suppressed and counted as waived, with no stale
+   error. *)
+let[@purity.lint.allow "unsafe: planted fixture, alias never mutated"] first b =
+  Bytes.unsafe_get b 0

@@ -1,0 +1,164 @@
+(* purity.lint engine tests: lint the planted-violation fixtures in
+   test/lint_fixtures/ (excluded from the real @lint run) under a config
+   that treats them as hot-path / recovery / audited code, and assert that
+   every rule class fires at the planted file:line, that in-source waivers
+   suppress exactly their finding, that stale waivers error, and that the
+   baseline machinery suppresses and goes stale correctly. *)
+
+(* Under `dune runtest` the cwd is _build/default/test; under
+   `dune exec test/test_lint.exe` it is the project root. *)
+let fixture_objs =
+  let rel = "lint_fixtures/.lint_fixtures.objs/byte" in
+  let candidates = [ rel; "test/" ^ rel; "_build/default/test/" ^ rel ] in
+  match List.find_opt Sys.file_exists candidates with
+  | Some d -> d
+  | None -> rel
+
+let cmt_for name =
+  let want = String.lowercase_ascii name ^ ".cmt" in
+  let files = Array.to_list (Sys.readdir fixture_objs) in
+  match
+    List.find_opt
+      (fun f ->
+        let f = String.lowercase_ascii f in
+        String.length f >= String.length want
+        && String.sub f (String.length f - String.length want) (String.length want)
+           = want)
+      files
+  with
+  | Some f -> Filename.concat fixture_objs f
+  | None -> Alcotest.failf "no %s cmt under %s" name fixture_objs
+
+let cfg =
+  {
+    Lint.Rules.hot_path_dirs = [ "lint_fixtures/" ];
+    recovery_files = [ "fx_partial.ml" ];
+    audited_unsafe = [ "fx_audited.ml" ];
+    exclude = [];
+  }
+
+let check name =
+  match Lint.Engine.check_cmt cfg (cmt_for name) with
+  | Ok (Some (file, r)) -> (file, r)
+  | Ok None -> Alcotest.failf "%s: cmt holds no implementation" name
+  | Error e -> Alcotest.fail e
+
+let fired (r : Lint.Engine.result) =
+  List.map (fun (f : Lint.Finding.t) -> (Lint.Finding.rule_name f.rule, f.line)) r.findings
+
+let rules_at = Alcotest.(list (pair string int))
+
+let test_determinism () =
+  let file, r = check "fx_determinism" in
+  Alcotest.(check bool) "file recorded" true (Filename.basename file = "fx_determinism.ml");
+  Alcotest.check rules_at "wall clock and global Random fire; seeded state does not"
+    [ ("determinism", 3); ("determinism", 5) ]
+    (fired r)
+
+let test_unsafe () =
+  let _, r = check "fx_unsafe" in
+  Alcotest.check rules_at "unaudited unsafe_get fires" [ ("unsafe", 3) ] (fired r)
+
+let test_audited () =
+  let _, r = check "fx_audited" in
+  Alcotest.check rules_at "audited module is exempt" [] (fired r)
+
+let test_hotpath () =
+  let _, r = check "fx_hotpath" in
+  Alcotest.check rules_at
+    "poly =/compare/hash and string-keyed Hashtbl fire; immediates do not"
+    [ ("hotpath", 3); ("hotpath", 5); ("hotpath", 7); ("hotpath", 9); ("hotpath", 11) ]
+    (fired r)
+
+let test_partial () =
+  let _, r = check "fx_partial" in
+  Alcotest.check rules_at "List.hd and Option.get fire in recovery code"
+    [ ("partial", 3); ("partial", 5) ]
+    (fired r)
+
+let test_waiver_suppresses () =
+  let _, r = check "fx_waived" in
+  Alcotest.check rules_at "waived finding is suppressed, no stale error" [] (fired r);
+  Alcotest.(check int) "one finding waived" 1 r.waived;
+  Alcotest.(check int) "one waiver present" 1 r.waivers
+
+let test_stale_waiver () =
+  let _, r = check "fx_stale" in
+  (match r.findings with
+  | [ f ] ->
+    Alcotest.(check string) "stale waiver errors" "waiver" (Lint.Finding.rule_name f.rule);
+    Alcotest.(check string) "stale waiver is an error severity" "error"
+      (Lint.Finding.severity_name f.severity)
+  | fs -> Alcotest.failf "expected exactly one stale-waiver finding, got %d" (List.length fs));
+  Alcotest.(check int) "nothing waived" 0 r.waived
+
+let test_severities () =
+  let _, r = check "fx_determinism" in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Alcotest.(check string) "determinism is an error" "error"
+        (Lint.Finding.severity_name f.severity))
+    r.findings;
+  let _, r = check "fx_hotpath" in
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Alcotest.(check string) "hotpath is a warning" "warning"
+        (Lint.Finding.severity_name f.severity))
+    r.findings
+
+(* ---- baseline machinery, on in-memory entries ---- *)
+
+let baseline_lines =
+  [
+    "# comment";
+    "";
+    "unsafe lint_fixtures/fx_unsafe.ml -- planted";
+    "partial lint_fixtures/fx_never.ml -- never fires";
+  ]
+
+let test_baseline_apply () =
+  let entries, errors = Lint.Baseline.parse ~path:"baseline.txt" baseline_lines in
+  Alcotest.(check int) "baseline parses clean" 0 (List.length errors);
+  Alcotest.(check int) "two entries" 2 (List.length entries);
+  let _, r = check "fx_unsafe" in
+  let kept, suppressed = Lint.Baseline.apply entries r.findings in
+  Alcotest.(check int) "unsafe finding suppressed by baseline" 1 suppressed;
+  Alcotest.check rules_at "nothing kept" [] (fired { r with findings = kept });
+  let stale = Lint.Baseline.stale ~path:"baseline.txt" entries in
+  (match stale with
+  | [ f ] ->
+    Alcotest.(check string) "unused entry goes stale" "waiver"
+      (Lint.Finding.rule_name f.rule);
+    Alcotest.(check int) "stale report points at the baseline line" 4 f.line
+  | fs -> Alcotest.failf "expected one stale entry, got %d" (List.length fs))
+
+let test_baseline_rejects_unwaivable () =
+  let entries, errors =
+    Lint.Baseline.parse ~path:"baseline.txt" [ "waiver lib/core/state.ml" ]
+  in
+  Alcotest.(check int) "waiver rule cannot be baselined" 0 (List.length entries);
+  Alcotest.(check int) "malformed entry reported" 1 (List.length errors)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "unsafe" `Quick test_unsafe;
+          Alcotest.test_case "audited exemption" `Quick test_audited;
+          Alcotest.test_case "hotpath" `Quick test_hotpath;
+          Alcotest.test_case "partial" `Quick test_partial;
+          Alcotest.test_case "severities" `Quick test_severities;
+        ] );
+      ( "waivers",
+        [
+          Alcotest.test_case "waiver suppresses" `Quick test_waiver_suppresses;
+          Alcotest.test_case "stale waiver errors" `Quick test_stale_waiver;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "apply + stale" `Quick test_baseline_apply;
+          Alcotest.test_case "unwaivable rules rejected" `Quick test_baseline_rejects_unwaivable;
+        ] );
+    ]
