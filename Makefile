@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all check test lint torture bench bench-micro bench-kernels clean
+.PHONY: all check test lint torture torture-ac bench bench-micro bench-kernels clean
 
 all:
 	dune build
@@ -22,6 +22,12 @@ lint:
 # purity.check); minutes, not seconds — deliberately outside tier-1.
 torture:
 	dune build @torture
+
+# Stretched-pod (ActiveCluster) sweep: partitions, mediator loss and
+# crashes over the fixed seed range 1..200 CI gates on, audited by the
+# two-array model. Seconds, not minutes.
+torture-ac:
+	dune build @torture-ac
 
 bench:
 	dune exec bench/main.exe

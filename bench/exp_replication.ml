@@ -13,6 +13,8 @@ module Fa = Purity_core.Flash_array
 module Wl = Purity_workload.Workload
 module Repl = Purity_replication.Replication
 module Clock = Purity_sim.Clock
+module Ac = Purity_activecluster.Activecluster
+module Histogram = Purity_util.Histogram
 
 let setup () =
   let clock = Clock.create () in
@@ -53,7 +55,7 @@ let run_workload clock source volumes ~while_replicating repl =
   Clock.run clock;
   Option.get !result
 
-let run () =
+let rec run () =
   section "E13 / §1 — throughput while replicating (extension experiment)";
   let volumes = [ ("lun0", 16384); ("lun1", 16384) ] in
   (* baseline: no replication *)
@@ -95,4 +97,84 @@ let run () =
     (100.0 *. ratio);
   Printf.printf "  Shape check: delta cycle ships only the change -> %s (%d blocks)\n"
     (if r.Repl.changed_blocks = 64 then "HOLDS" else "DIVERGES")
-    r.Repl.changed_blocks
+    r.Repl.changed_blocks;
+  run_activecluster ()
+
+(* Synchronous active-active (ActiveCluster): the cost of the mirror.
+   Every acked write has crossed the interconnect and landed on both
+   arrays, so the round trip is on the host's write path — versus the
+   async protocol above, which keeps it off. We measure the same write
+   stream three ways: plain single-array writes, mirrored writes in a
+   stretched pod, and solo writes after a partition fenced the peer
+   (mediation already decided; the RTT is gone again). *)
+and run_activecluster () =
+  section "Replication — synchronous active-active (stretched pod) write latency";
+  let clock = Clock.create () in
+  let cfg = bench_config () in
+  let a = Fa.create ~config:cfg ~clock () in
+  let b = Fa.create ~config:{ cfg with Fa.seed = 4242L } ~clock () in
+  let ac = Ac.create ~a ~b ~pod:"pod0" () in
+  (match Ac.create_stretched ac "lun0" ~blocks:16384 with
+  | Ok () -> ()
+  | Error _ -> failwith "bench: create_stretched failed");
+  let dg = Purity_workload.Datagen.create ~seed:134L in
+  let io_blocks = 64 (* 32 KiB *) in
+  let measure n write =
+    let h = Histogram.create () in
+    for i = 0 to n - 1 do
+      let block = i * io_blocks mod 16384 in
+      let data = Purity_workload.Datagen.compressible dg (io_blocks * 512) ~target_ratio:2.0 in
+      let t0 = Clock.now clock in
+      let done_ = ref false in
+      write ~block data (fun () ->
+          Histogram.record h (Clock.now clock -. t0);
+          done_ := true);
+      Clock.run clock;
+      if not !done_ then failwith "bench: mirrored write never completed"
+    done;
+    h
+  in
+  let ops = 300 in
+  let local =
+    measure ops (fun ~block data k ->
+        Fa.write a ~volume:"lun0" ~block data (function
+          | Ok () -> k ()
+          | Error _ -> failwith "bench: write failed"))
+  in
+  let mirrored =
+    measure ops (fun ~block data k ->
+        Ac.write ac ~prefer:Ac.A ~volume:"lun0" ~block data (function
+          | Ok () -> k ()
+          | Error _ -> failwith "bench: mirrored write failed"))
+  in
+  (* partition: first write pays the mediation race, the rest run solo *)
+  Ac.cut_link ac;
+  ignore
+    (await clock (fun k -> Ac.write ac ~prefer:Ac.A ~volume:"lun0" ~block:0
+        (Purity_workload.Datagen.compressible dg (io_blocks * 512) ~target_ratio:2.0)
+        k));
+  let solo =
+    measure ops (fun ~block data k ->
+        Ac.write ac ~prefer:Ac.A ~volume:"lun0" ~block data (function
+          | Ok () -> k ()
+          | Error _ -> failwith "bench: solo write failed"))
+  in
+  pp_lat "local write (32 KiB)" local;
+  pp_lat "mirrored write (sync)" mirrored;
+  pp_lat "solo write (fenced peer)" solo;
+  (* failback, for the record *)
+  Ac.heal_link ac;
+  (match await clock (fun k -> Ac.settle ac k) with
+  | Ac.Sync, _ ->
+    let c = Ac.counters ac in
+    Printf.printf "\n  failback: resynced %d blocks, %d mirror writes acked\n"
+      c.Ac.resync_blocks c.Ac.mirror_acked
+  | st, _ -> Printf.printf "\n  failback did not reconverge (%s)\n" (Ac.status_name st));
+  let p50 h = Histogram.percentile h 50.0 in
+  Printf.printf "\n  Paper: ActiveCluster adds one interconnect round trip to writes.\n";
+  Printf.printf "  Shape check: mirrored p50 > local p50 -> %s (%.0f vs %.0f us)\n"
+    (if p50 mirrored > p50 local then "HOLDS" else "DIVERGES")
+    (p50 mirrored) (p50 local);
+  Printf.printf "  Shape check: solo writes shed the round trip -> %s (%.0f us)\n"
+    (if p50 solo < p50 mirrored then "HOLDS" else "DIVERGES")
+    (p50 solo)

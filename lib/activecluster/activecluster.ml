@@ -1,0 +1,762 @@
+(* ActiveCluster-style synchronous active-active replication.
+
+   Two simulated arrays serve the *same* stretched volumes symmetrically
+   (§1, §6: "highly available enterprise storage" beyond async snapshot
+   shipping). A host write lands on either side, is applied locally and
+   mirrored synchronously over the interconnect, and is acknowledged
+   only when both copies are durable. When the link or an array dies,
+   the survivor races to the third-party mediator; the winner keeps the
+   pod and continues solo while the loser fences, and a later failback
+   resynchronises the diverged blocks and returns the pod to symmetric
+   service. In-flight I/O fails over transparently: a write caught by a
+   partition is re-driven on whichever side won mediation, and the host
+   sees one ack.
+
+   Ordering. Concurrent writes to the same block from opposite sides are
+   serialized by a per-block last-writer-wins stamp (a Lamport counter
+   tagged with the side bit, merged on every mirror receive): exactly
+   one of the racing writes wins on *both* arrays, so either
+   serialization can be observed but divergence cannot. The purity.check
+   two-array model (Ac_model) encodes exactly that contract.
+
+   Fencing generations. Every role change (solo, freeze, failback) bumps
+   [gen]; mirror messages and acks carry the generation they were sent
+   under and are dropped on arrival if stale. This is what makes a
+   delayed mirror from before a failover harmless after the failback
+   resync has already reconciled the block.
+
+   Convergence bookkeeping. Three block sets force eventual agreement:
+   - a solo winner marks every block it acks [dirty];
+   - write footprints whose outcome the host never learned (mediation,
+     freeze, local error) are [tainted];
+   - a double crash sets [full_resync].
+   Failback copies their union from the surviving side over the
+   rejoining side before lifting the fence. In the real system the loser
+   ships its own divergent-LBA log during the failback handshake; here
+   both sides' books live in one harness structure, which carries the
+   same information without the wire format. *)
+
+module Clock = Purity_sim.Clock
+module Fa = Purity_core.Flash_array
+module State = Purity_core.State
+module Delta = Purity_replication.Replication.Delta
+module Registry = Purity_telemetry.Registry
+
+type side = Mediator.side = A | B
+
+let other = Mediator.other
+let side_name = Mediator.side_name
+let side_bit = function A -> 0 | B -> 1
+
+type status = Sync | Solo of side | Frozen | Down
+
+let status_name = function
+  | Sync -> "sync"
+  | Solo s -> "solo-" ^ side_name s
+  | Frozen -> "frozen"
+  | Down -> "down"
+
+type config = {
+  mirror_timeout_us : float;  (** per-attempt wait for the peer's ack *)
+  mirror_retries : int;  (** retransmits before suspecting a partition *)
+  resync_run : int;  (** blocks per failback transfer *)
+}
+
+let default_config = { mirror_timeout_us = 1_500.0; mirror_retries = 2; resync_run = 64 }
+
+(* Planted-bug hooks for the checker's self-tests: each one breaks the
+   contract in a way the two-array reference model must catch. *)
+type chaos = {
+  mutable skip_resync : bool;
+      (** failback "forgets" to copy solo-era writes: divergence *)
+  mutable ack_without_peer : bool;
+      (** ack the host on local persist alone: a lost ack on failover *)
+}
+
+let chaos = { skip_resync = false; ack_without_peer = false }
+
+type io_error =
+  [ `Unavailable  (** fenced/frozen/offline beyond what failover can hide *)
+  | `No_such_volume
+  | `Out_of_range
+  | `Unaligned
+  | `No_space
+  | `Backpressure ]
+
+type counters = {
+  mutable mirror_writes : int;
+  mutable mirror_acked : int;
+  mutable mirror_timeouts : int;
+  mutable mirror_stale_drops : int;
+  mutable mediation_requests : int;
+  mutable mediation_grants : int;
+  mutable mediation_denials : int;
+  mutable mediation_unreachable : int;
+  mutable solo_writes : int;
+  mutable redirects : int;  (** front-door I/O moved to the other side *)
+  mutable fences : int;
+  mutable resyncs : int;
+  mutable resync_blocks : int;
+}
+
+type node = {
+  ns : side;
+  arr : Fa.t;
+  mutable counter : int;  (* Lamport counter; monotone for the pod's life *)
+  stamps : (string, int array) Hashtbl.t;  (* volume -> per-block LWW stamp *)
+  dirty : (string, bool array) Hashtbl.t;  (* blocks acked while serving solo *)
+}
+
+type t = {
+  clock : Clock.t;
+  cfg : config;
+  pod : string;
+  a : node;
+  b : node;
+  link : Link.t;
+  med : Mediator.t;
+  mutable status : status;
+  mutable gen : int;
+  mutable vols : (string * int) list;  (* stretched volumes, name-sorted *)
+  mutable inflight : (string * int * int) list;  (* un-acked write footprints *)
+  mutable tainted : (string * int * int) list;  (* outcome never reported *)
+  mutable full_resync : bool;
+  mutable mediating : bool;
+  mutable med_waiters : (unit -> unit) list;
+  c : counters;
+}
+
+let node t = function A -> t.a | B -> t.b
+
+let new_counters () =
+  {
+    mirror_writes = 0; mirror_acked = 0; mirror_timeouts = 0; mirror_stale_drops = 0;
+    mediation_requests = 0; mediation_grants = 0; mediation_denials = 0;
+    mediation_unreachable = 0; solo_writes = 0; redirects = 0; fences = 0;
+    resyncs = 0; resync_blocks = 0;
+  }
+
+(* Derived (not direct) on purpose, like the async replicator's: a
+   failover hands an array a fresh registry, and re-deriving after
+   recovery re-joins the pod's counters to it. Registered on both sides
+   so either array's phone-home stream carries them. *)
+let register_telemetry t =
+  let on reg =
+    Registry.derive_int reg "activecluster/mirror_writes" (fun () -> t.c.mirror_writes);
+    Registry.derive_int reg "activecluster/mirror_acked" (fun () -> t.c.mirror_acked);
+    Registry.derive_int reg "activecluster/mirror_timeouts" (fun () -> t.c.mirror_timeouts);
+    Registry.derive_int reg "activecluster/mirror_stale_drops" (fun () ->
+        t.c.mirror_stale_drops);
+    Registry.derive_int reg "activecluster/mediation_requests" (fun () ->
+        t.c.mediation_requests);
+    Registry.derive_int reg "activecluster/mediation_grants" (fun () ->
+        t.c.mediation_grants);
+    Registry.derive_int reg "activecluster/mediation_denials" (fun () ->
+        t.c.mediation_denials);
+    Registry.derive_int reg "activecluster/mediation_unreachable" (fun () ->
+        t.c.mediation_unreachable);
+    Registry.derive_int reg "activecluster/solo_writes" (fun () -> t.c.solo_writes);
+    Registry.derive_int reg "activecluster/redirects" (fun () -> t.c.redirects);
+    Registry.derive_int reg "activecluster/fences" (fun () -> t.c.fences);
+    Registry.derive_int reg "activecluster/resyncs" (fun () -> t.c.resyncs);
+    Registry.derive_int reg "activecluster/resync_blocks" (fun () -> t.c.resync_blocks);
+    Registry.derive_int reg "activecluster/link_sent" (fun () ->
+        (Link.stats t.link).Link.sent);
+    Registry.derive_int reg "activecluster/link_delivered" (fun () ->
+        (Link.stats t.link).Link.delivered);
+    Registry.derive_int reg "activecluster/link_dropped" (fun () ->
+        let s = Link.stats t.link in
+        s.Link.dropped_loss + s.Link.dropped_cut)
+  in
+  on (Fa.telemetry t.a.arr);
+  on (Fa.telemetry t.b.arr)
+
+let create ?(config = default_config) ?link_config ?(mediator_rtt_us = 1_000.0)
+    ~a ~b ~pod () =
+  if Fa.clock a != Fa.clock b then
+    invalid_arg "Activecluster.create: arrays must share one clock";
+  let clock = Fa.clock a in
+  let mknode ns arr =
+    { ns; arr; counter = 0; stamps = Hashtbl.create 8; dirty = Hashtbl.create 8 }
+  in
+  let t =
+    {
+      clock;
+      cfg = config;
+      pod;
+      a = mknode A a;
+      b = mknode B b;
+      link = Link.create ?config:link_config ~clock ();
+      med = Mediator.create ~rtt_us:mediator_rtt_us ~clock ();
+      status = Sync;
+      gen = 0;
+      vols = [];
+      inflight = [];
+      tainted = [];
+      full_resync = false;
+      mediating = false;
+      med_waiters = [];
+      c = new_counters ();
+    }
+  in
+  register_telemetry t;
+  t
+
+let array t s = (node t s).arr
+let link t = t.link
+let mediator t = t.med
+let status t = t.status
+let counters t = t.c
+let pod t = t.pod
+let stretched t = t.vols
+
+let respond t r k = Clock.schedule t.clock ~delay:0.0 (fun () -> k r)
+
+(* ---------- stretched volumes ---------- *)
+
+let create_stretched t name ~blocks : (unit, Fa.vol_error) result =
+  if t.status <> Sync then Error `Busy
+  else if List.mem_assoc name t.vols then Error `Exists
+  else
+    match Fa.create_volume t.a.arr name ~blocks with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Fa.create_volume t.b.arr name ~blocks with
+      | Error _ as e -> e
+      | Ok () ->
+        t.vols <- List.sort compare ((name, blocks) :: t.vols);
+        List.iter
+          (fun n ->
+            Hashtbl.replace n.stamps name (Array.make blocks 0);
+            Hashtbl.replace n.dirty name (Array.make blocks false))
+          [ t.a; t.b ];
+        Ok ())
+
+(* ---------- convergence bookkeeping ---------- *)
+
+let mark_dirty n volume block nblocks =
+  match Hashtbl.find_opt n.dirty volume with
+  | None -> ()
+  | Some d ->
+    let hi = min (Array.length d) (block + nblocks) in
+    for b = max 0 block to hi - 1 do
+      d.(b) <- true
+    done
+
+let set_stamps n volume block nblocks stamp =
+  match Hashtbl.find_opt n.stamps volume with
+  | None -> ()
+  | Some s ->
+    let hi = min (Array.length s) (block + nblocks) in
+    for b = max 0 block to hi - 1 do
+      if stamp > s.(b) then s.(b) <- stamp
+    done
+
+let remove_one_inflight t entry =
+  let rec go = function
+    | [] -> []
+    | e :: rest -> if e = entry then rest else e :: go rest
+  in
+  t.inflight <- go t.inflight
+
+let taint t entry = t.tainted <- entry :: t.tainted
+
+(* Fold every footprint whose outcome the host never learned into the
+   winner's dirty book, so failback forces those blocks to agree. *)
+let absorb_uncertain t winner =
+  let n = node t winner in
+  List.iter (fun (v, b, l) -> mark_dirty n v b l) t.inflight;
+  List.iter (fun (v, b, l) -> mark_dirty n v b l) t.tainted;
+  t.tainted <- []
+
+(* ---------- role transitions ---------- *)
+
+let fence_side t s =
+  let n = node t s in
+  if not (Fa.is_fenced n.arr) then begin
+    Fa.fence n.arr;
+    t.c.fences <- t.c.fences + 1
+  end
+
+let go_solo t winner =
+  t.status <- Solo winner;
+  t.gen <- t.gen + 1;
+  fence_side t (other winner);
+  absorb_uncertain t winner
+
+let go_frozen t =
+  (* nobody serves and nobody wins: keep every uncertain footprint for
+     the eventual failback *)
+  t.status <- Frozen;
+  t.gen <- t.gen + 1;
+  List.iter (fun e -> taint t e) t.inflight
+
+(* One mediation race at a time; callers park a continuation that runs
+   once the race resolves (or immediately if the role already changed —
+   e.g. a second write timing out while the first one's race is won). *)
+let mediate t origin waiter =
+  if t.status <> Sync then Clock.schedule t.clock ~delay:0.0 waiter
+  else begin
+    t.med_waiters <- waiter :: t.med_waiters;
+    if not t.mediating then begin
+      t.mediating <- true;
+      t.c.mediation_requests <- t.c.mediation_requests + 1;
+      Mediator.request t.med origin (fun outcome ->
+          t.mediating <- false;
+          (match outcome with
+          | `Granted ->
+            t.c.mediation_grants <- t.c.mediation_grants + 1;
+            if t.status = Sync then go_solo t origin
+          | `Denied ->
+            (* the peer already holds the pod (it raced first, or holds
+               a stale claim from an earlier partition): we lose *)
+            t.c.mediation_denials <- t.c.mediation_denials + 1;
+            if t.status = Sync then begin
+              t.status <- Solo (other origin);
+              t.gen <- t.gen + 1;
+              fence_side t origin;
+              absorb_uncertain t (other origin)
+            end
+          | `Unreachable ->
+            t.c.mediation_unreachable <- t.c.mediation_unreachable + 1;
+            if t.status = Sync then go_frozen t);
+          let ws = t.med_waiters in
+          t.med_waiters <- [];
+          List.iter (fun w -> w ()) ws)
+    end
+  end
+
+(* ---------- mirror receive ---------- *)
+
+(* Apply a mirror message at [dst]: merge the Lamport counter, apply the
+   blocks this stamp wins (last-writer-wins per block), ack when every
+   winning block is durable. A stale generation, a fence, or a dead
+   array produces silence — the origin's timeout machinery owns the
+   outcome. A half-applied mirror (local write error) is also silence:
+   it must look like loss so the origin retries or mediates. *)
+let deliver_mirror t dst ~gen ~stamp ~volume ~block ~data ~ack =
+  let n = node t dst in
+  if gen <> t.gen then t.c.mirror_stale_drops <- t.c.mirror_stale_drops + 1
+  else if (not (Fa.is_online n.arr)) || Fa.is_fenced n.arr then ()
+  else begin
+    n.counter <- max n.counter (stamp lsr 1);
+    let bs = Fa.block_size in
+    let nblocks = String.length data / bs in
+    let wins =
+      match Hashtbl.find_opt n.stamps volume with
+      | None -> []
+      | Some st ->
+        let acc = ref [] in
+        for j = nblocks - 1 downto 0 do
+          let b = block + j in
+          if b < Array.length st && stamp > st.(b) then acc := b :: !acc
+        done;
+        !acc
+    in
+    match Delta.runs_of wins ~max_run:(max nblocks 1) with
+    | [] -> ack ()
+    | runs ->
+      let pending = ref (List.length runs) in
+      let applied_ok = ref true in
+      List.iter
+        (fun (start, len) ->
+          let slice = String.sub data ((start - block) * bs) (len * bs) in
+          Fa.write n.arr ~volume ~block:start slice (fun r ->
+              (match r with
+              | Ok () -> set_stamps n volume start len stamp
+              | Error _ -> applied_ok := false);
+              decr pending;
+              if !pending = 0 && !applied_ok then ack ()))
+        runs
+  end
+
+(* ---------- write path ---------- *)
+
+let map_write_error (e : Fa.write_error) : io_error =
+  match e with
+  | `No_such_volume -> `No_such_volume
+  | `Out_of_range -> `Out_of_range
+  | `Unaligned -> `Unaligned
+  | `No_space -> `No_space
+  | `Backpressure -> `Backpressure
+  | `Read_only | `Offline | `Fenced -> `Unavailable
+
+let solo_write t s ~volume ~block data k =
+  let n = node t s in
+  if (not (Fa.is_online n.arr)) || Fa.is_fenced n.arr then respond t (Error `Unavailable) k
+  else begin
+    let nblocks = String.length data / Fa.block_size in
+    t.c.solo_writes <- t.c.solo_writes + 1;
+    (* dirty before issue: even an un-acked outcome must converge later *)
+    mark_dirty n volume block nblocks;
+    Fa.write n.arr ~volume ~block data (function
+      | Ok () -> k (Ok ())
+      | Error e -> k (Error (map_write_error e)))
+  end
+
+let rec write t ?(prefer = A) ~volume ~block data k =
+  match t.status with
+  | Down | Frozen -> respond t (Error `Unavailable) k
+  | Solo s ->
+    if s <> prefer then t.c.redirects <- t.c.redirects + 1;
+    solo_write t s ~volume ~block data k
+  | Sync ->
+    let p = node t prefer in
+    let origin =
+      if Fa.is_online p.arr && not (Fa.is_fenced p.arr) then prefer
+      else begin
+        t.c.redirects <- t.c.redirects + 1;
+        other prefer
+      end
+    in
+    sync_write t origin ~volume ~block data k
+
+and sync_write t origin ~volume ~block data k =
+  let n = node t origin in
+  if (not (Fa.is_online n.arr)) || Fa.is_fenced n.arr then respond t (Error `Unavailable) k
+  else begin
+    let nblocks = String.length data / Fa.block_size in
+    let gen = t.gen in
+    n.counter <- n.counter + 1;
+    let stamp = (n.counter lsl 1) lor side_bit origin in
+    set_stamps n volume block nblocks stamp;
+    let entry = (volume, block, nblocks) in
+    t.inflight <- entry :: t.inflight;
+    let finished = ref false in
+    let local_result : (unit, Fa.write_error) result option ref = ref None in
+    let peer_acked = ref false in
+    let finish_ok () =
+      finished := true;
+      remove_one_inflight t entry;
+      (match t.status with
+      | Solo s when s = origin -> mark_dirty (node t s) volume block nblocks
+      | _ -> ());
+      k (Ok ())
+    in
+    let finish_err e =
+      finished := true;
+      remove_one_inflight t entry;
+      (* the local copy (or the mirror) may or may not have applied —
+         never ack, and force later convergence *)
+      taint t entry;
+      k (Error e)
+    in
+    let maybe_complete () =
+      if not !finished then
+        match (t.status, !local_result) with
+        | _, Some (Error e) -> finish_err (map_write_error e)
+        | Solo s, Some (Ok ()) when s = origin ->
+          (* the race resolved in our favour mid-write: the pod acks on
+             the local persist alone now *)
+          finish_ok ()
+        | _, Some (Ok ()) when !peer_acked -> finish_ok ()
+        | _, Some (Ok ()) when chaos.ack_without_peer ->
+          (* planted bug: the host hears Ok before the mirror landed *)
+          finish_ok ()
+        | _ -> ()
+    in
+    (* after the mediation race (or any role change observed at a
+       timeout) resolves: continue solo, fail over to the winner
+       transparently, or surface the freeze *)
+    let redispatch () =
+      if not !finished then
+        match t.status with
+        | Solo s when s = origin ->
+          mark_dirty n volume block nblocks;
+          maybe_complete ()
+        | Solo s ->
+          (* we lost and are fenced: re-drive the same write on the
+             winner; its ack is the host's ack *)
+          finished := true;
+          remove_one_inflight t entry;
+          t.c.redirects <- t.c.redirects + 1;
+          write t ~prefer:s ~volume ~block data k
+        | Frozen | Down | Sync -> finish_err `Unavailable
+    in
+    (* local leg *)
+    Fa.write n.arr ~volume ~block data (fun r ->
+        local_result := Some r;
+        maybe_complete ());
+    (* mirror leg, with retransmits and a partition verdict *)
+    let rec attempt tries =
+      if (not !finished) && not !peer_acked then begin
+        t.c.mirror_writes <- t.c.mirror_writes + 1;
+        Link.send t.link (fun () ->
+            deliver_mirror t (other origin) ~gen ~stamp ~volume ~block ~data
+              ~ack:(fun () ->
+                Link.send t.link (fun () ->
+                    if t.gen = gen && not !peer_acked then begin
+                      peer_acked := true;
+                      t.c.mirror_acked <- t.c.mirror_acked + 1;
+                      maybe_complete ()
+                    end)));
+        Clock.schedule t.clock ~delay:t.cfg.mirror_timeout_us (fun () ->
+            if (not !peer_acked) && not !finished then begin
+              if t.status = Sync && t.gen = gen then begin
+                if tries < t.cfg.mirror_retries then attempt (tries + 1)
+                else begin
+                  t.c.mirror_timeouts <- t.c.mirror_timeouts + 1;
+                  mediate t origin redispatch
+                end
+              end
+              else
+                (* someone else changed the pod's role while we waited *)
+                redispatch ()
+            end)
+      end
+    in
+    attempt 0
+  end
+
+(* ---------- read path ---------- *)
+
+let map_read_error (e : Fa.read_error) : io_error =
+  match e with
+  | `No_such_volume -> `No_such_volume
+  | `Out_of_range -> `Out_of_range
+  | `Offline | `Fenced | `Media_failure -> `Unavailable
+
+(* The Ok carries the side that actually served the bytes: callers that
+   shadow per-side observations (the checker's two-array model) need the
+   true attribution when a preferred-side read was transparently
+   redirected. *)
+let read t ?(prefer = A) ~volume ~block ~nblocks k =
+  match t.status with
+  | Down | Frozen -> respond t (Error `Unavailable) k
+  | Solo s ->
+    if s <> prefer then t.c.redirects <- t.c.redirects + 1;
+    let n = node t s in
+    if (not (Fa.is_online n.arr)) || Fa.is_fenced n.arr then respond t (Error `Unavailable) k
+    else
+      Fa.read n.arr ~volume ~block ~nblocks (function
+        | Ok data -> k (Ok (data, s))
+        | Error e -> k (Error (map_read_error e)))
+  | Sync ->
+    let first =
+      let p = node t prefer in
+      if Fa.is_online p.arr && not (Fa.is_fenced p.arr) then prefer
+      else begin
+        t.c.redirects <- t.c.redirects + 1;
+        other prefer
+      end
+    in
+    let n = node t first in
+    Fa.read n.arr ~volume ~block ~nblocks (function
+      | Ok data -> k (Ok (data, first))
+      | Error (`Offline | `Fenced) ->
+        (* transparent failover mid-read: one retry on the other side *)
+        t.c.redirects <- t.c.redirects + 1;
+        let n' = node t (other first) in
+        if (not (Fa.is_online n'.arr)) || Fa.is_fenced n'.arr then k (Error `Unavailable)
+        else
+          Fa.read n'.arr ~volume ~block ~nblocks (function
+            | Ok data -> k (Ok (data, other first))
+            | Error e -> k (Error (map_read_error e)))
+      | Error e -> k (Error (map_read_error e)))
+
+(* ---------- fault and control surface ---------- *)
+
+let cut_link t = Link.cut t.link
+let heal_link t = Link.heal t.link
+let lose_mediator t = Mediator.set_reachable t.med false
+let restore_mediator t = Mediator.set_reachable t.med true
+
+let crash_side t s =
+  let n = node t s in
+  if Fa.is_online n.arr then Fa.crash n.arr;
+  if (not (Fa.is_online t.a.arr)) && not (Fa.is_online t.b.arr) then begin
+    t.status <- Down;
+    t.gen <- t.gen + 1;
+    t.full_resync <- true;
+    List.iter (fun e -> taint t e) t.inflight
+  end
+
+let recover_side ?mode t s k =
+  let n = node t s in
+  if Fa.is_online n.arr then Clock.schedule t.clock ~delay:0.0 k
+  else
+    Fa.failover ?mode n.arr (fun (_ : Purity_core.Recovery.report) ->
+        register_telemetry t;
+        k ())
+
+(* ---------- failback / settle ---------- *)
+
+(* The side whose content wins a reconciliation: the pod holder if the
+   mediator knows one, else the solo server, else A by convention (a
+   never-diverged pair is identical, so the convention only picks whose
+   bytes get copied). *)
+let survivor_side t =
+  match Mediator.holder t.med with
+  | Some s -> s
+  | None -> ( match t.status with Solo s -> s | _ -> A)
+
+(* Blocks to copy during failback: the union of both sides' dirty books,
+   every tainted footprint, and — after a double crash — everything the
+   surviving side holds. *)
+let resync_blocks_for t ~from name blocks =
+  let module IS = Set.Make (Int) in
+  let set = ref IS.empty in
+  let add_dirty n =
+    match Hashtbl.find_opt n.dirty name with
+    | None -> ()
+    | Some d -> Array.iteri (fun b v -> if v then set := IS.add b !set) d
+  in
+  add_dirty t.a;
+  add_dirty t.b;
+  List.iter
+    (fun (v, b, l) ->
+      if String.equal v name then
+        for j = max 0 b to min blocks (b + l) - 1 do
+          set := IS.add j !set
+        done)
+    t.tainted;
+  if t.full_resync then begin
+    let st = Fa.state (node t from).arr in
+    match State.Stbl.find_opt st.State.volumes name with
+    | None -> ()
+    | Some v ->
+      List.iter
+        (fun b -> set := IS.add b !set)
+        (Delta.live_blocks st ~medium:v.State.medium ~blocks:v.State.blocks)
+  end;
+  IS.elements !set
+
+(* Copy runs of [volume] from the survivor to the rejoining side over
+   the link. Calls [k false] (abort) if the link dies mid-resync or a
+   copy fails; already-copied blocks stay dirty-marked and are simply
+   re-copied by the next attempt. *)
+let rec copy_runs t ~from ~into volume runs k =
+  match runs with
+  | [] -> k true
+  | (start, len) :: rest ->
+    Fa.read (node t from).arr ~volume ~block:start ~nblocks:len (function
+      | Error _ -> k false
+      | Ok data ->
+        Link.transfer t.link ~bytes:(String.length data)
+          ~fail:(fun () -> k false)
+          (fun () ->
+            Fa.write (node t into).arr ~volume ~block:start data (function
+              | Ok () ->
+                t.c.resync_blocks <- t.c.resync_blocks + len;
+                copy_runs t ~from ~into volume rest k
+              | Error _ -> k false)))
+
+let rec resync_volumes t ~from ~into vols k =
+  match vols with
+  | [] -> k true
+  | (name, blocks) :: rest ->
+    let bl = resync_blocks_for t ~from name blocks in
+    let runs = Delta.runs_of bl ~max_run:t.cfg.resync_run in
+    copy_runs t ~from ~into name runs (fun ok ->
+        if ok then resync_volumes t ~from ~into rest k else k false)
+
+(* Reconcile and return to symmetric service: copy the divergent blocks
+   from [survivor] over the other side, clear the books, lift both
+   fences, release the pod claim and bump the generation (stranding any
+   mirror still in flight from the old era). *)
+let reconcile t ~survivor k =
+  let loser = other survivor in
+  List.iter (fun e -> taint t e) t.inflight;
+  t.inflight <- [];
+  (* the loser's front door stays shut (pod status still routes around
+     it), but resync writes must land: lift its array fence for the
+     copy, restoring it if the copy aborts *)
+  let loser_was_fenced = Fa.is_fenced (node t loser).arr in
+  Fa.unfence (node t loser).arr;
+  let finish ok =
+    if ok then begin
+      List.iter
+        (fun n ->
+          Hashtbl.iter (fun _ st -> Array.fill st 0 (Array.length st) 0) n.stamps;
+          Hashtbl.iter (fun _ d -> Array.fill d 0 (Array.length d) false) n.dirty)
+        [ t.a; t.b ];
+      let c = max t.a.counter t.b.counter in
+      t.a.counter <- c;
+      t.b.counter <- c;
+      t.tainted <- [];
+      t.full_resync <- false;
+      Fa.unfence t.a.arr;
+      Fa.unfence t.b.arr;
+      (match Mediator.holder t.med with
+      | Some h -> Mediator.release t.med h
+      | None -> ());
+      t.gen <- t.gen + 1;
+      t.status <- Sync;
+      t.c.resyncs <- t.c.resyncs + 1;
+      k (Sync, Some survivor)
+    end
+    else begin
+      if loser_was_fenced then Fa.fence (node t loser).arr;
+      k (t.status, Some survivor)
+    end
+  in
+  if chaos.skip_resync then
+    (* planted bug: declare the pod synced without copying *)
+    finish true
+  else resync_volumes t ~from:survivor ~into:loser t.vols finish
+
+(* Claim the pod for [s] so a half-alive pod can serve again. *)
+let try_solo t s k =
+  match t.status with
+  | Solo h when h = s -> respond t (Solo s, Some s) k
+  | _ ->
+    t.c.mediation_requests <- t.c.mediation_requests + 1;
+    Mediator.request t.med s (fun outcome ->
+        (match outcome with
+        | `Granted ->
+          t.c.mediation_grants <- t.c.mediation_grants + 1;
+          (match t.status with
+          | Sync | Frozen | Down -> go_solo t s
+          | Solo _ -> ())
+        | `Denied ->
+          t.c.mediation_denials <- t.c.mediation_denials + 1;
+          (* the peer holds a (possibly stale) claim; serving against it
+             could lose its solo-era writes, so we must not *)
+          (match t.status with
+          | Sync | Frozen | Down ->
+            t.status <- Solo (other s);
+            t.gen <- t.gen + 1;
+            fence_side t s;
+            absorb_uncertain t (other s)
+          | Solo _ -> ())
+        | `Unreachable ->
+          t.c.mediation_unreachable <- t.c.mediation_unreachable + 1;
+          (match t.status with Sync -> go_frozen t | Solo _ | Frozen | Down -> ()));
+        k (t.status, match t.status with Solo h -> Some h | _ -> None))
+
+(* Drive the pod toward the best status the current fault set allows:
+   full failback when both sides and the link are healthy, mediated solo
+   service when only one side lives, no change when nothing can improve.
+   The callback reports the resulting status and, when content was (or
+   would be) reconciled, whose bytes are authoritative. *)
+let settle t k =
+  register_telemetry t;
+  let a_on = Fa.is_online t.a.arr and b_on = Fa.is_online t.b.arr in
+  match t.status with
+  | Down ->
+    if a_on && b_on then reconcile t ~survivor:(survivor_side t) k
+    else if a_on then try_solo t A k
+    else if b_on then try_solo t B k
+    else respond t (Down, None) k
+  | Solo s ->
+    if not (Fa.is_online (node t s).arr) then
+      (* the solo owner is down: the peer is stale and must not take
+         over; the pod waits for the owner *)
+      respond t (Solo s, Some s) k
+    else if Fa.is_online (node t (other s)).arr && Link.up t.link then
+      reconcile t ~survivor:s k
+    else respond t (Solo s, Some s) k
+  | Frozen ->
+    if a_on && b_on && Link.up t.link then reconcile t ~survivor:(survivor_side t) k
+    else if a_on && not b_on then try_solo t A k
+    else if b_on && not a_on then try_solo t B k
+    else respond t (Frozen, None) k
+  | Sync ->
+    if a_on && b_on && Link.up t.link then begin
+      if t.tainted <> [] || t.inflight <> [] || t.full_resync then
+        reconcile t ~survivor:(survivor_side t) k
+      else respond t (Sync, None) k
+    end
+    else if a_on && not b_on then try_solo t A k
+    else if b_on && not a_on then try_solo t B k
+    else respond t (Sync, None) k

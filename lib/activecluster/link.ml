@@ -1,0 +1,123 @@
+(* The simulated array-to-array interconnect.
+
+   ActiveCluster stretches a pod over two arrays joined by a dedicated
+   replication link; every synchronous mirror write, mirror ack and
+   resync transfer crosses it. The model is a lossy, jittery,
+   partitionable message channel on the shared simulation clock:
+
+   - each message is delayed by [latency_us] plus a uniform jitter draw
+     (jitter makes reordering real: two messages sent back-to-back can
+     arrive swapped);
+   - a seeded coin drops messages with probability [loss_prob] — the
+     retransmit/timeout machinery above must absorb this;
+   - [cut]/[heal] model a hard partition. Cutting the link also destroys
+     every message in flight: a partition does not buffer, it kills.
+
+   All randomness flows through one seeded [Rng.t], so a scenario replays
+   bit-for-bit per seed. *)
+
+module Clock = Purity_sim.Clock
+module Rng = Purity_util.Rng
+
+type config = {
+  latency_us : float;  (** one-way propagation *)
+  jitter_us : float;  (** uniform extra delay, [0, jitter_us) *)
+  loss_prob : float;  (** per-message drop probability while healthy *)
+  seed : int64;
+}
+
+(* A metro-distance link: ~200 us one way, mild jitter, one message in a
+   thousand lost. ActiveCluster supports up to 5 ms RTT; tests stay well
+   inside it so mirror timeouts are unambiguous. *)
+let default_config = { latency_us = 200.0; jitter_us = 60.0; loss_prob = 0.001; seed = 0x11CCL }
+
+type stats = {
+  sent : int;
+  delivered : int;
+  dropped_loss : int;  (** random loss while healthy *)
+  dropped_cut : int;  (** sent or in flight across a partition *)
+}
+
+type t = {
+  clock : Clock.t;
+  cfg : config;
+  rng : Rng.t;
+  mutable up : bool;
+  mutable cuts : int;  (* partition epoch: bumped on every [cut] *)
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_cut : int;
+}
+
+let create ?(config = default_config) ~clock () =
+  {
+    clock;
+    cfg = config;
+    rng = Rng.create ~seed:config.seed;
+    up = true;
+    cuts = 0;
+    sent = 0;
+    delivered = 0;
+    dropped_loss = 0;
+    dropped_cut = 0;
+  }
+
+let up t = t.up
+let cut t = if t.up then begin t.up <- false; t.cuts <- t.cuts + 1 end
+let heal t = t.up <- true
+
+let stats t =
+  { sent = t.sent; delivered = t.delivered; dropped_loss = t.dropped_loss;
+    dropped_cut = t.dropped_cut }
+
+(* Send a message; [k] fires at delivery time. A dropped message fires
+   nothing — the sender's timeout is the only way to notice. The jitter
+   draw happens even for messages doomed by a partition, so the Rng
+   stream depends only on the sequence of sends, not on link state. *)
+let send t k =
+  t.sent <- t.sent + 1;
+  let delay =
+    t.cfg.latency_us
+    +. (if t.cfg.jitter_us > 0.0 then Rng.float t.rng t.cfg.jitter_us else 0.0)
+  in
+  let lost = t.cfg.loss_prob > 0.0 && Rng.float t.rng 1.0 < t.cfg.loss_prob in
+  if not t.up then t.dropped_cut <- t.dropped_cut + 1
+  else if lost then t.dropped_loss <- t.dropped_loss + 1
+  else begin
+    let epoch = t.cuts in
+    Clock.schedule t.clock ~delay (fun () ->
+        if t.up && t.cuts = epoch then begin
+          t.delivered <- t.delivered + 1;
+          k ()
+        end
+        else t.dropped_cut <- t.dropped_cut + 1)
+  end
+
+(* A reliable bulk transfer for resync traffic: charges the same latency
+   but is immune to loss and reordering (the resync protocol above runs
+   request/response with retries until the transfer lands; modelling the
+   retries individually would only add clock noise). Still killed by a
+   partition — resync across a cut link cannot make progress, and unlike
+   [send] the sender is told ([fail]) so a failback can abort cleanly
+   instead of hanging. *)
+let transfer t ~bytes ~fail k =
+  t.sent <- t.sent + 1;
+  (* 1 GbE-class replication port: ~1 us per KiB on top of propagation *)
+  let delay = t.cfg.latency_us +. (float_of_int bytes /. 1024.0) in
+  if not t.up then begin
+    t.dropped_cut <- t.dropped_cut + 1;
+    Clock.schedule t.clock ~delay:0.0 fail
+  end
+  else begin
+    let epoch = t.cuts in
+    Clock.schedule t.clock ~delay (fun () ->
+        if t.up && t.cuts = epoch then begin
+          t.delivered <- t.delivered + 1;
+          k ()
+        end
+        else begin
+          t.dropped_cut <- t.dropped_cut + 1;
+          fail ()
+        end)
+  end

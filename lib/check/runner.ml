@@ -198,6 +198,9 @@ let do_read ctx ~view ~block ~nblocks =
   | Some (Error `Out_of_range) ->
     if expect <> `Out_of_range then raise (Violation ("spurious Out_of_range reading " ^ view))
   | Some (Error `Offline) -> ()  (* crash landed mid-read *)
+  | Some (Error `Fenced) ->
+    (* single-array plans never fence: only the ActiveCluster layer does *)
+    raise (Violation ("spurious Fenced reading " ^ view))
   | Some (Error `Media_failure) ->
     raise
       (Violation
@@ -272,7 +275,8 @@ let exec_op ctx (op : Plan.op) =
       if expect <> `Read_only then raise (Violation ("spurious Read_only writing " ^ view))
     | Some (Error `Out_of_range) ->
       if expect <> `Out_of_range then raise (Violation ("spurious Out_of_range writing " ^ view))
-    | Some (Error `Unaligned) -> raise (Violation "spurious Unaligned write"))
+    | Some (Error `Unaligned) -> raise (Violation "spurious Unaligned write")
+    | Some (Error `Fenced) -> raise (Violation ("spurious Fenced writing " ^ view)))
   | Plan.Read { view; block; nblocks } -> do_read ctx ~view ~block ~nblocks
   | Plan.Flush -> (
     match await ctx (fun k -> Fa.flush ctx.arr (fun () -> k ())) with

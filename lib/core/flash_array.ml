@@ -31,6 +31,7 @@ type t = {
   mutable app_reads : int;
   mutable crash_time : float option;
   mutable total_downtime : float;
+  mutable fenced : bool;
   created_at : float;
 }
 
@@ -68,7 +69,8 @@ let register_array_telemetry t =
 let create ?(config = default_config) ~clock () =
   let t =
     { config; clk = clock; st = State.create ~config ~clock (); app_reads = 0;
-      crash_time = None; total_downtime = 0.0; created_at = Clock.now clock }
+      crash_time = None; total_downtime = 0.0; fenced = false;
+      created_at = Clock.now clock }
   in
   register_array_telemetry t;
   t
@@ -81,8 +83,18 @@ let telemetry t = t.st.tel
 let tracer t = t.st.tracer
 
 type vol_error = [ `Exists | `No_such_volume | `Busy | `Is_snapshot | `Is_volume ]
-type write_error = Write_path.error
-type read_error = Read_path.error
+type write_error = [ Write_path.error | `Fenced ]
+type read_error = [ Read_path.error | `Fenced ]
+
+(* Cluster-level fencing (ActiveCluster split-brain resolution): a fenced
+   array refuses host I/O at the front door until the cluster layer
+   unfences it. The flag lives outside [st] on purpose — it is imposed on
+   the appliance, not on a controller, so a failover boots the spare
+   still fenced. Maintenance (GC, scrub, rebuild, checkpoint) keeps
+   running: fencing stops the host, not the array. *)
+let fence t = t.fenced <- true
+let unfence t = t.fenced <- false
+let is_fenced t = t.fenced
 
 (* ---------- volumes ---------- *)
 
@@ -229,18 +241,24 @@ let inferred_io_blocks t name =
 (* ---------- data path ---------- *)
 
 let write t ~volume ~block data k =
-  Write_path.write t.st ~volume ~block data (fun r ->
-      maybe_persist_boot t.st;
-      (match (r, t.st.cfg.checkpoint_every_writes) with
-      | Ok (), n when n > 0 && t.st.writes_since_checkpoint >= n ->
-        t.st.writes_since_checkpoint <- 0;
-        Checkpoint.run t.st (fun _ -> ())
-      | _ -> ());
-      k r)
+  if t.fenced then Clock.schedule t.clk ~delay:0.0 (fun () -> k (Error `Fenced))
+  else
+    Write_path.write t.st ~volume ~block data (fun r ->
+        maybe_persist_boot t.st;
+        (match (r, t.st.cfg.checkpoint_every_writes) with
+        | Ok (), n when n > 0 && t.st.writes_since_checkpoint >= n ->
+          t.st.writes_since_checkpoint <- 0;
+          Checkpoint.run t.st (fun _ -> ())
+        | _ -> ());
+        k (r :> (unit, write_error) result))
 
 let read t ~volume ~block ~nblocks k =
-  t.app_reads <- t.app_reads + 1;
-  Read_path.read t.st ~volume ~block ~nblocks k
+  if t.fenced then Clock.schedule t.clk ~delay:0.0 (fun () -> k (Error `Fenced))
+  else begin
+    t.app_reads <- t.app_reads + 1;
+    Read_path.read t.st ~volume ~block ~nblocks (fun r ->
+        k (r :> (string, read_error) result))
+  end
 
 let flush t k =
   (try seal_current t.st with Out_of_space -> ());

@@ -97,8 +97,10 @@ val inferred_io_blocks : t -> string -> int option
 
 (** {1 Data path} *)
 
-type write_error = Write_path.error
-type read_error = Read_path.error
+type write_error = [ Write_path.error | `Fenced ]
+type read_error = [ Read_path.error | `Fenced ]
+(** [`Fenced]: the array has been fenced by the cluster layer (see
+    {!fence}) and refuses host I/O at the front door. *)
 
 val write :
   t -> volume:string -> block:int -> string -> ((unit, write_error) result -> unit) -> unit
@@ -171,6 +173,17 @@ val failover : ?mode:Recovery.mode -> t -> (Recovery.report -> unit) -> unit
     downtime. Acked writes and all metadata survive. *)
 
 val is_online : t -> bool
+
+val fence : t -> unit
+(** Cluster-level fencing (ActiveCluster §6-style split-brain
+    resolution): refuse all host reads and writes with [`Fenced] until
+    {!unfence}. The fence is a property of the appliance, not of a
+    controller — it survives {!crash}/{!failover}. Maintenance (GC,
+    scrub, rebuild, checkpoint, replication ingest driven internally)
+    is unaffected. *)
+
+val unfence : t -> unit
+val is_fenced : t -> bool
 
 (** {1 Statistics} *)
 

@@ -74,59 +74,80 @@ let last_replicated t name =
 
 let stats t = t.stats
 
-(* The frozen medium a snapshot handle references. *)
-let snap_medium st snap_name =
-  match State.Stbl.find_opt st.State.volumes snap_name with
-  | Some v -> (
-    match Medium.extents st.State.medium_table v.State.medium with
-    | [ { Medium.target = Medium.Underlying { medium; _ }; _ } ] -> Some medium
-    | _ -> Some v.State.medium)
-  | None -> None
+(* Delta machinery shared with the synchronous ActiveCluster layer
+   (lib/activecluster): both replication flavours reduce "what must cross
+   the wire" to sorted block lists and consecutive runs. *)
+module Delta = struct
+  (* The frozen medium a snapshot handle references. *)
+  let snap_medium st snap_name =
+    match State.Stbl.find_opt st.State.volumes snap_name with
+    | Some v -> (
+      match Medium.extents st.State.medium_table v.State.medium with
+      | [ { Medium.target = Medium.Underlying { medium; _ }; _ } ] -> Some medium
+      | _ -> Some v.State.medium)
+    | None -> None
 
-(* Mediums that accumulated writes between two replication snapshots:
-   walk the successor chain [from_medium] downwards until [until]
-   (exclusive). Replication successors reference whole mediums at offset
-   0, so the walk is a straight line. *)
-let mediums_between st ~from_medium ~until =
-  let rec go m acc =
-    if Some m = until then acc
+  (* Mediums that accumulated writes between two replication snapshots:
+     walk the successor chain [from_medium] downwards until [until]
+     (exclusive). Replication successors reference whole mediums at offset
+     0, so the walk is a straight line. *)
+  let mediums_between st ~from_medium ~until =
+    let rec go m acc =
+      if Some m = until then acc
+      else begin
+        let acc = m :: acc in
+        match Medium.extents st.State.medium_table m with
+        | [ { Medium.target = Medium.Underlying { medium; offset = 0 }; start_block = 0; _ } ]
+          ->
+          go medium acc
+        | _ -> acc
+      end
+    in
+    go from_medium []
+
+  (* Blocks with live facts in the given mediums, from the block index. *)
+  let changed_blocks st mediums =
+    let module IS = Set.Make (Int) in
+    let set = ref IS.empty in
+    List.iter
+      (fun medium ->
+        let lo = Keys.block_key ~medium ~block:0 in
+        let hi = Keys.block_key ~medium ~block:max_int in
+        List.iter
+          (fun (key, _) -> set := IS.add (Keys.block_key_block key) !set)
+          (Pyramid.range st.State.blocks ~lo ~hi))
+      mediums;
+    IS.elements !set
+
+  (* Every block the medium resolves somewhere in its chain — the initial
+     full-sync block list, from one batched range resolution. *)
+  let live_blocks st ~medium ~blocks =
+    if blocks <= 0 then []
     else begin
-      let acc = m :: acc in
-      match Medium.extents st.State.medium_table m with
-      | [ { Medium.target = Medium.Underlying { medium; offset = 0 }; start_block = 0; _ } ] ->
-        go medium acc
-      | _ -> acc
+      let refs = State.resolve_range st ~medium ~block:0 ~nblocks:blocks in
+      let acc = ref [] in
+      for b = blocks - 1 downto 0 do
+        match refs.(b) with Some _ -> acc := b :: !acc | None -> ()
+      done;
+      !acc
     end
-  in
-  go from_medium []
 
-(* Blocks with live facts in the given mediums, from the block index. *)
-let changed_blocks st mediums =
-  let module IS = Set.Make (Int) in
-  let set = ref IS.empty in
-  List.iter
-    (fun medium ->
-      let lo = Keys.block_key ~medium ~block:0 in
-      let hi = Keys.block_key ~medium ~block:max_int in
-      List.iter
-        (fun (key, _) -> set := IS.add (Keys.block_key_block key) !set)
-        (Pyramid.range st.State.blocks ~lo ~hi))
-    mediums;
-  IS.elements !set
+  (* Group sorted blocks into runs of consecutive addresses, capped so one
+     run is one source read / wire transfer / target write. *)
+  let runs_of blocks ~max_run =
+    let rec go acc current = function
+      | [] -> List.rev (match current with None -> acc | Some r -> r :: acc)
+      | b :: rest -> (
+        match current with
+        | Some (start, len) when b = start + len && len < max_run ->
+          go acc (Some (start, len + 1)) rest
+        | Some r -> go (r :: acc) (Some (b, 1)) rest
+        | None -> go acc (Some (b, 1)) rest)
+    in
+    go [] None blocks
+end
 
-(* Group sorted blocks into runs of consecutive addresses, capped so one
-   run is one source read / wire transfer / target write. *)
-let runs_of blocks ~max_run =
-  let rec go acc current = function
-    | [] -> List.rev (match current with None -> acc | Some r -> r :: acc)
-    | b :: rest -> (
-      match current with
-      | Some (start, len) when b = start + len && len < max_run ->
-        go acc (Some (start, len + 1)) rest
-      | Some r -> go (r :: acc) (Some (b, 1)) rest
-      | None -> go acc (Some (b, 1)) rest)
-  in
-  go [] None blocks
+open Delta
 
 let ship t bytes k =
   (* serialize transfers on the WAN; per-run RTT overhead *)
@@ -198,14 +219,7 @@ let replicate_once t volume k =
     | None ->
       (* initial sync: every block the volume actually holds, scanned as
          one batched range resolution instead of per-block chain walks *)
-      let refs =
-        Purity_core.State.resolve_range st ~medium:new_medium ~block:0 ~nblocks:size
-      in
-      let acc = ref [] in
-      for b = size - 1 downto 0 do
-        match refs.(b) with Some _ -> acc := b :: !acc | None -> ()
-      done;
-      !acc
+      live_blocks st ~medium:new_medium ~blocks:size
   in
   let runs = runs_of blocks ~max_run:256 in
   let shipped = ref 0 in

@@ -23,6 +23,33 @@
     array re-deduplicates and re-compresses on ingest, as the real
     system does. *)
 
+(** Delta machinery shared between this asynchronous replicator and the
+    synchronous ActiveCluster layer ({!Purity_activecluster}): reducing
+    "what must cross the wire" to sorted block lists and consecutive
+    runs. *)
+module Delta : sig
+  val snap_medium : Purity_core.State.t -> string -> int option
+  (** The frozen medium a snapshot handle references. *)
+
+  val mediums_between :
+    Purity_core.State.t -> from_medium:int -> until:int option -> int list
+  (** Successor-chain walk from [from_medium] (inclusive) down to [until]
+      (exclusive): the mediums that accumulated writes between two
+      replication snapshots. *)
+
+  val changed_blocks : Purity_core.State.t -> int list -> int list
+  (** Sorted blocks with live facts in any of the given mediums, read off
+      the block index (no full-volume scan). *)
+
+  val live_blocks : Purity_core.State.t -> medium:int -> blocks:int -> int list
+  (** Sorted blocks the medium resolves anywhere in its chain — the
+      initial-sync block list, via one batched range resolution. *)
+
+  val runs_of : int list -> max_run:int -> (int * int) list
+  (** Group a sorted block list into [(start, len)] runs of consecutive
+      addresses, each at most [max_run] long. *)
+end
+
 type link = {
   mb_s : float;  (** WAN bandwidth *)
   rtt_us : float;  (** per-transfer round-trip overhead *)

@@ -23,6 +23,9 @@ let default =
         "lib/core/checkpoint.ml";
         "lib/core/boot_region.ml";
         "lib/replication/replication.ml";
+        "lib/activecluster/activecluster.ml";
+        "lib/activecluster/mediator.ml";
+        "lib/activecluster/link.ml";
       ];
     audited_unsafe =
       [ "word.ml"; "crc32c.ml"; "xxhash.ml"; "gf256.ml"; "lz.ml"; "bloom.ml" ];

@@ -303,6 +303,115 @@ let test_lineage_property () =
     expect_clean (lineage_plan (Int64.of_int (0x2000 + i)))
   done
 
+(* ---------- directed stretched-pod (ActiveCluster) orderings ---------- *)
+
+(* Hand-built Ac_plan traces audited by the two-array model; the runner's
+   final audit additionally reads every block of both arrays below the
+   front door. *)
+
+module Ac_plan = Purity_check.Ac_plan
+module Ac_runner = Purity_check.Ac_runner
+
+let expect_ac_clean (plan : Ac_plan.t) =
+  match Ac_runner.run_plan plan with
+  | Ok _ -> ()
+  | Error failure ->
+    let fails evs =
+      match Ac_runner.run_plan { plan with Ac_plan.events = evs } with
+      | Ok _ -> None
+      | Error f -> Some f
+    in
+    let trace, (step, violation) = Runner.shrink ~fails plan.Ac_plan.events failure in
+    Alcotest.failf "%s"
+      (Ac_runner.report_to_string
+         {
+           Ac_runner.seed = plan.Ac_plan.seed;
+           step;
+           violation;
+           vols = plan.Ac_plan.vols;
+           trace;
+           original_events = List.length plan.Ac_plan.events;
+         })
+
+let aw ~side ~wid block nblocks =
+  Ac_plan.Op (Ac_plan.Write { side; view = "p0"; block; nblocks; wid })
+
+let ar ~side block nblocks =
+  Ac_plan.Op (Ac_plan.Read { side; view = "p0"; block; nblocks })
+
+(* A write acked while one side serves solo behind a partition is a
+   durability promise: it must still be there — on BOTH arrays — after
+   the failback resync. *)
+let test_ac_ack_after_partition () =
+  expect_ac_clean
+    {
+      Ac_plan.seed = 0x3A01L;
+      vols = [ ("p0", 128) ];
+      events =
+        [
+          aw ~side:Ac_plan.A ~wid:1 0 8;
+          Ac_plan.Fault Ac_plan.Cut_link;
+          (* mirror times out, A wins mediation, the ack is solo-era *)
+          aw ~side:Ac_plan.A ~wid:2 16 8;
+          ar ~side:Ac_plan.A 16 8;
+          (* I/O aimed at the fenced side must redirect, not fail *)
+          aw ~side:Ac_plan.B ~wid:3 32 8;
+          Ac_plan.Fault Ac_plan.Heal_link;
+          Ac_plan.Op Ac_plan.Settle;
+          (* after resync the loser serves the solo-era writes itself *)
+          ar ~side:Ac_plan.B 16 8;
+          ar ~side:Ac_plan.B 32 8;
+        ];
+    }
+
+(* The cut lands inside the mirror round trip: the in-flight write must
+   fail over transparently to whichever side mediation picks, and the
+   host sees exactly one outcome. *)
+let test_ac_write_straddling_failover () =
+  expect_ac_clean
+    {
+      Ac_plan.seed = 0x3A02L;
+      vols = [ ("p0", 128) ];
+      events =
+        [
+          aw ~side:Ac_plan.A ~wid:1 0 8;
+          Ac_plan.Timed { delay_us = 250.0; fault = Ac_plan.Cut_link };
+          aw ~side:Ac_plan.A ~wid:2 32 8;
+          aw ~side:Ac_plan.B ~wid:3 64 8;
+          Ac_plan.Fault Ac_plan.Heal_link;
+          Ac_plan.Op Ac_plan.Settle;
+          ar ~side:Ac_plan.A 32 8;
+          ar ~side:Ac_plan.B 64 8;
+        ];
+    }
+
+(* Failback resync: solo-era writes — including an overwrite of a block
+   both sides already hold — flow back to the rejoining array, and a
+   racing pair resolves to the same winner on both. *)
+let test_ac_failback_resync () =
+  expect_ac_clean
+    {
+      Ac_plan.seed = 0x3A03L;
+      vols = [ ("p0", 128) ];
+      events =
+        [
+          aw ~side:Ac_plan.A ~wid:1 0 16;
+          aw ~side:Ac_plan.B ~wid:2 40 16;
+          Ac_plan.Fault Ac_plan.Cut_link;
+          aw ~side:Ac_plan.B ~wid:3 80 16;
+          aw ~side:Ac_plan.B ~wid:4 0 16;
+          Ac_plan.Fault Ac_plan.Heal_link;
+          Ac_plan.Op Ac_plan.Settle;
+          Ac_plan.Op
+            (Ac_plan.Write_racing
+               { view = "p0"; block = 8; nblocks = 8; wid_a = 5; wid_b = 6 });
+          ar ~side:Ac_plan.A 0 16;
+          ar ~side:Ac_plan.A 80 16;
+          ar ~side:Ac_plan.B 0 16;
+          ar ~side:Ac_plan.B 8 8;
+        ];
+    }
+
 (* ---------- randomized full-mix scenarios ---------- *)
 
 let test_long_haul () = run_seed ~gen:{ Plan.default_gen with Plan.steps = 220 } 424242L ()
@@ -361,6 +470,15 @@ let () =
           Alcotest.test_case "resize racing a checkpoint" `Quick
             test_resize_racing_checkpoint;
           Alcotest.test_case "lineage property sweep" `Quick test_lineage_property;
+        ] );
+      ( "activecluster-directed",
+        [
+          Alcotest.test_case "ack after partition survives failback" `Quick
+            test_ac_ack_after_partition;
+          Alcotest.test_case "write straddling failover" `Quick
+            test_ac_write_straddling_failover;
+          Alcotest.test_case "failback resync + racing pair" `Quick
+            test_ac_failback_resync;
         ] );
       ( "fault-injection",
         [

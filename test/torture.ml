@@ -1,41 +1,81 @@
 (* Torture sweep: many random fault-plan scenarios through purity.check.
    Excluded from the tier-1 `dune runtest` gate; run with `make torture`
    or `dune build @torture`. Exit status 1 on the first violation, with a
-   report that prints the seed and the shrunk reproducing trace. *)
+   report that prints the seed and the shrunk reproducing trace.
+
+   Two suites share the binary:
+   - [array]: single-array crash/recovery plans (Runner/Plan);
+   - [ac]: stretched-pod ActiveCluster plans — partitions, mediator
+     loss, straddling writes, simultaneous crashes — audited by the
+     two-array model (Ac_runner/Ac_plan). `dune build @torture-ac` runs
+     the fixed seed range 1..200 that CI gates on. *)
 
 module Runner = Purity_check.Runner
 module Plan = Purity_check.Plan
+module Ac_runner = Purity_check.Ac_runner
+module Ac_plan = Purity_check.Ac_plan
 
 let () =
+  let suite = ref "array" in
   let base = ref 1_000L in
   let count = ref 1_000 in
-  let steps = ref Plan.default_gen.Plan.steps in
+  let steps = ref 0 in
   let spec =
     [
+      ( "-suite",
+        Arg.Symbol ([ "array"; "ac"; "all" ], fun s -> suite := s),
+        " which sweep to run (default array)" );
       ("-base", Arg.String (fun s -> base := Int64.of_string s), "first seed (default 1000)");
       ("-count", Arg.Set_int count, "number of seeds (default 1000)");
-      ("-steps", Arg.Set_int steps, "generation steps per scenario");
+      ("-steps", Arg.Set_int steps, "generation steps per scenario (0 = suite default)");
     ]
   in
-  Arg.parse spec (fun _ -> ()) "torture [-base N] [-count N] [-steps N]";
-  let gen = { Plan.default_gen with Plan.steps = !steps } in
-  let t0 = Unix.gettimeofday () in
+  Arg.parse spec (fun _ -> ()) "torture [-suite array|ac|all] [-base N] [-count N] [-steps N]";
   let failed = ref false in
-  (try
-     for i = 0 to !count - 1 do
-       let seed = Int64.add !base (Int64.of_int i) in
-       (match Runner.check_seed ~gen seed with
-       | Ok () -> ()
-       | Error report ->
-         Format.printf "%a@." Runner.pp_report report;
-         failed := true;
-         raise Exit);
-       if (i + 1) mod 100 = 0 then
-         Format.printf "%d/%d scenarios clean (%.1fs)@." (i + 1) !count
-           (Unix.gettimeofday () -. t0)
-     done
-   with Exit -> ());
+  let sweep name ~check =
+    let t0 = Unix.gettimeofday () in
+    (try
+       for i = 0 to !count - 1 do
+         let seed = Int64.add !base (Int64.of_int i) in
+         (match check seed with
+         | Ok () -> ()
+         | Error report_text ->
+           print_string report_text;
+           print_newline ();
+           failed := true;
+           raise Exit);
+         if (i + 1) mod 100 = 0 then
+           Format.printf "%s: %d/%d scenarios clean (%.1fs)@." name (i + 1) !count
+             (Unix.gettimeofday () -. t0)
+       done
+     with Exit -> ());
+    if not !failed then
+      Format.printf "torture[%s]: %d scenarios clean in %.1fs@." name !count
+        (Unix.gettimeofday () -. t0)
+  in
+  let array_sweep () =
+    let gen =
+      if !steps = 0 then Plan.default_gen else { Plan.default_gen with Plan.steps = !steps }
+    in
+    sweep "array" ~check:(fun seed ->
+        match Runner.check_seed ~gen seed with
+        | Ok () -> Ok ()
+        | Error report -> Error (Format.asprintf "%a" Runner.pp_report report))
+  in
+  let ac_sweep () =
+    let gen =
+      if !steps = 0 then Ac_plan.default_gen
+      else { Ac_plan.default_gen with Ac_plan.steps = !steps }
+    in
+    sweep "ac" ~check:(fun seed ->
+        match Ac_runner.check_seed ~gen seed with
+        | Ok () -> Ok ()
+        | Error report -> Error (Ac_runner.report_to_string report))
+  in
+  (match !suite with
+  | "ac" -> ac_sweep ()
+  | "all" ->
+    array_sweep ();
+    if not !failed then ac_sweep ()
+  | _ -> array_sweep ());
   if !failed then exit 1
-  else
-    Format.printf "torture: %d scenarios clean in %.1fs@." !count
-      (Unix.gettimeofday () -. t0)
