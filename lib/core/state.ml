@@ -85,6 +85,17 @@ let default_config =
 
 type volume_kind = Volume | Snapshot
 
+(* Flush-pipeline control state, epoch-published for cross-domain readers.
+   The metadata plane is single-writer (the simulated clock serialises the
+   controller), but derived telemetry and future off-main observers read
+   these fields; publishing an immutable snapshot through
+   [Purity_par.Epoch] keeps those reads wait-free and tear-free. *)
+type control_view = {
+  cv_next_segment : int;
+  cv_unflushed : int;
+  cv_pending_flushes : int;
+}
+
 (* Paper 4.6: instead of per-volume block-size tuning knobs, the array
    observes each volume's write sizes and sizes cblocks to match, so
    later reads (which overwhelmingly use the same size and alignment as
@@ -197,7 +208,13 @@ type t = {
   mutable boot_generation_written : int;
   dedup : Dedup.t;
   dedup_locs : (int, Blockref.t) Hashtbl.t; (* dedup write id -> cblock home *)
-  arena : Arena.t; (* reused compress/frame scratch for the fill loop *)
+  mutable arenas : Arena.t array;
+      (* per-lane compress/frame scratch for the fill loop: index 0 is the
+         controller's own (serial) arena; grown to the pool's lane count
+         on first parallel fill (lane_arenas) *)
+  control_view : control_view Purity_par.Epoch.t;
+      (* single-writer epoch snapshot of the flush pipeline, republished
+         at every mutation of the fields it mirrors *)
   read_cache : (int * int, string) Purity_util.Lru.t; (* (segment, off) -> frame *)
   map_cache : (int * int, Blockref.t option) Purity_util.Lru.t;
       (* (medium, block) -> memoized block-pyramid lookup, negative
@@ -231,9 +248,14 @@ let fresh_volatile cfg clock =
 let register_derived_telemetry t =
   let reg = t.tel in
   Registry.derive_int reg "segments/live" (fun () -> Hashtbl.length t.segment_metas);
-  Registry.derive_int reg "segments/unflushed" (fun () -> Hashtbl.length t.unflushed);
-  Registry.derive_int reg "segments/pending_flushes" (fun () -> t.pending_flush_count);
-  Registry.derive_int reg "segments/next_id" (fun () -> t.next_segment_id);
+  (* flush-pipeline metrics read the epoch snapshot, not the live record:
+     a snapshot read is wait-free and safe from any domain *)
+  Registry.derive_int reg "segments/unflushed" (fun () ->
+      (Purity_par.Epoch.read t.control_view).cv_unflushed);
+  Registry.derive_int reg "segments/pending_flushes" (fun () ->
+      (Purity_par.Epoch.read t.control_view).cv_pending_flushes);
+  Registry.derive_int reg "segments/next_id" (fun () ->
+      (Purity_par.Epoch.read t.control_view).cv_next_segment);
   Registry.derive_int reg "volumes/count" (fun () -> Stbl.length t.volumes);
   Registry.derive_int reg "pyramid/blocks_facts" (fun () -> Pyramid.fact_count t.blocks);
   Registry.derive_int reg "pyramid/blocks_patches" (fun () -> Pyramid.patch_count t.blocks);
@@ -319,7 +341,10 @@ let create_over ~config ~clock ~shelf ~boot () =
     boot_generation_written = 0;
     dedup = Dedup.create ~config:config.dedup_config ();
     dedup_locs = Hashtbl.create 1024;
-    arena = Arena.create ();
+    arenas = [| Arena.create () |];
+    control_view =
+      Purity_par.Epoch.create
+        { cv_next_segment = 1; cv_unflushed = 0; cv_pending_flushes = 0 };
     read_cache = Purity_util.Lru.create ~capacity:(max 1 config.read_cache_entries);
     map_cache = Purity_util.Lru.create ~capacity:(max 1 config.map_cache_entries);
     write_lat = Registry.histogram tel "write_path/latency_us";
@@ -356,6 +381,29 @@ let create ?(config = default_config) ~clock () =
   create_over ~config ~clock ~shelf ~boot ()
 
 let nvram t = Shelf.nvram t.shelf
+
+(* Re-publish the flush-pipeline snapshot; call after any mutation of
+   next_segment_id / unflushed / pending_flush_count. Main domain only
+   (the Epoch cell is single-writer). *)
+let publish_control_view t =
+  Purity_par.Epoch.publish t.control_view
+    {
+      cv_next_segment = t.next_segment_id;
+      cv_unflushed = Hashtbl.length t.unflushed;
+      cv_pending_flushes = t.pending_flush_count;
+    }
+
+(* The per-lane scratch arenas for a parallel segment fill, grown (on the
+   main domain, before any fan-out) to at least the pool's lane count.
+   Lane 0 is the controller's own serial arena. *)
+let lane_arenas t ~lanes =
+  if Array.length t.arenas < lanes then begin
+    let old = t.arenas in
+    t.arenas <-
+      Array.init lanes (fun i ->
+          if i < Array.length old then old.(i) else Arena.create ())
+  end;
+  t.arenas
 
 (* Metadata of the volume/medium tables is additionally committed to
    NVRAM (fire-and-forget: the model's log state mutates at call time), so
@@ -437,6 +485,7 @@ let rec writer_with_room t ~need =
       let w = Writer.create ~layout:t.layout ~shelf:t.shelf ~rs:t.rs ~members ~id in
       t.open_writer <- Some w;
       Hashtbl.replace t.unflushed id w;
+      publish_control_view t;
       (* a refill may have changed the persisted frontier: rewrite the
          boot region before this segment accumulates log records *)
       !boot_persist_hook t;
@@ -468,7 +517,8 @@ and seal_current t =
     if Writer.is_empty w then begin
       (* never written: hand the AUs back *)
       Hashtbl.remove t.unflushed (Writer.id w);
-      Allocator.release t.alloc (Writer.members w)
+      Allocator.release t.alloc (Writer.members w);
+      publish_control_view t
     end
     else begin
       (* Members whose drive failed since allocation are remapped to fresh
@@ -495,6 +545,7 @@ and seal_current t =
       let seal_seq = t.last_applied_intent in
       Queue.add (Writer.id w, seal_seq) t.flushes_in_order;
       t.pending_flush_count <- t.pending_flush_count + 1;
+      publish_control_view t;
       Queue.add w t.flush_queue;
       pump_flush t
     end
@@ -545,6 +596,7 @@ and pump_flush t =
           | _ -> continue := false
         done;
         t.pending_flush_count <- t.pending_flush_count - 1;
+        publish_control_view t;
         t.flush_active <- false;
         pump_flush t;
         if t.pending_flush_count = 0 then begin
@@ -934,7 +986,8 @@ let () = boot_persist_hook := maybe_persist_boot
 let halt_device_activity t =
   Hashtbl.iter (fun _ w -> Writer.abort w) t.unflushed;
   Queue.clear t.flush_queue;
-  t.flush_active <- false
+  t.flush_active <- false;
+  publish_control_view t
 
 (* Paper 4.3: "the primary controller asynchronously warms the cache of
    the secondary". At failover the spare therefore starts with (most of)

@@ -70,6 +70,13 @@ let mul_table c =
     t
   end
 
+(* The cache above is built lazily on first use, which is a publication
+   race if the first use happens on a pool worker: another domain could
+   observe the row pointer before the table contents. [Rs.create] warms
+   every coefficient its matrix uses on the main domain, before any
+   parallel encode can touch them; after that, workers only read. *)
+let warm c = if c > 1 then ignore (mul_table c : int array array)
+
 let check_lengths name ~src ~dst =
   if Bytes.length dst <> Bytes.length src then
     invalid_arg (name ^ ": length mismatch")

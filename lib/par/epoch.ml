@@ -1,0 +1,20 @@
+(* Single-writer epoch-published snapshots.
+
+   The pyramid/metadata plane stays single-writer under domains; readers
+   on other domains (telemetry, stats derivation) must never lock it or
+   observe a half-updated view. The writer publishes an immutable
+   snapshot value tagged with a monotonically increasing epoch into one
+   [Atomic.t] cell; a read is a single atomic load, so it is wait-free
+   and always sees some fully-published epoch. *)
+
+type 'a t = ('a * int) Atomic.t
+
+let create v = Atomic.make (v, 0)
+
+let publish t v =
+  let _, e = Atomic.get t in
+  Atomic.set t (v, e + 1)
+
+let read t = fst (Atomic.get t)
+let epoch t = snd (Atomic.get t)
+let read_tagged t = Atomic.get t

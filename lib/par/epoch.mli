@@ -1,0 +1,22 @@
+(** Single-writer epoch-published snapshots.
+
+    The owning (single-writer) domain {!publish}es immutable snapshot
+    values; any domain may {!read} wait-free and always observes a
+    complete snapshot with a monotonically increasing {!epoch} tag.
+    Publishing from more than one domain is a protocol violation (the
+    epoch counter would race); the data plane keeps the metadata plane
+    single-writer precisely so this cell is enough. *)
+
+type 'a t
+
+val create : 'a -> 'a t
+(** Initial snapshot, epoch 0. *)
+
+val publish : 'a t -> 'a -> unit
+(** Atomically replace the snapshot and bump the epoch. Single writer only. *)
+
+val read : 'a t -> 'a
+(** Wait-free: one atomic load. *)
+
+val epoch : 'a t -> int
+val read_tagged : 'a t -> 'a * int

@@ -126,7 +126,18 @@ let row_chunks t ~row =
   let parity = Rs.encode t.rs data in
   Array.append data parity
 
-let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) ?tracer ?parent k =
+(* RS-encode every row. Rows are independent (each slices its own region
+   of the sealed buffer and allocates its own parity), so they fan out
+   across the pool as the parallel unit; [Pool.map] returns them in row
+   order, making the result byte-identical to the serial loop at any
+   lane count. *)
+let encode_rows t pool ~rows_used =
+  if Purity_par.Pool.lanes pool > 1 && rows_used > 1 then
+    Purity_par.Pool.map pool ~tasks:rows_used (fun ~lane:_ row -> row_chunks t ~row)
+  else Array.init rows_used (fun row -> row_chunks t ~row)
+
+let finalize t ?pool ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) ?tracer ?parent
+    k =
   if t.sealed then invalid_arg "Writer.finalize: already sealed";
   t.sealed <- true;
   let module Span = Purity_telemetry.Span in
@@ -161,7 +172,8 @@ let finalize t ?(max_writers = 2) ?(remap = fun ~exclude:_ -> None) ?tracer ?par
           "rs_encode")
       tracer
   in
-  let row_data = Array.init rows_used (fun row -> row_chunks t ~row) in
+  let pool = match pool with Some p -> p | None -> Purity_par.Pool.global () in
+  let row_data = encode_rows t pool ~rows_used in
   Option.iter (fun s -> Span.finish s) encode_span;
   let member_chunks i =
     List.init rows_used (fun row ->

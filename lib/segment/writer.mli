@@ -52,6 +52,7 @@ val append_log : t -> seq:int64 -> string -> bool
 
 val finalize :
   t ->
+  ?pool:Purity_par.Pool.t ->
   ?max_writers:int ->
   ?remap:(exclude:int list -> Segment.member option) ->
   ?tracer:Purity_telemetry.Span.tracer ->
@@ -60,6 +61,9 @@ val finalize :
   unit
 (** Seal and flush. The callback fires at simulated completion with the
     final segment description (as also persisted in every member header).
+    Per-row RS encoding fans out over [pool] (default: the global
+    {!Purity_par.Pool}) — rows are independent and return in row order,
+    so the flushed bytes are identical at any domain count.
     With [tracer], the flush is traced: an [rs_encode] span for parity
     computation and one [program] span per member shard (tagged with its
     final drive), all parented under [parent] so the whole multi-hop

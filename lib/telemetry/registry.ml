@@ -1,7 +1,10 @@
 module Histogram = Purity_util.Histogram
 
-type counter = { mutable c_value : int }
-type gauge = { mutable g_value : float }
+(* Atomic-backed so pool worker domains can record without racing the
+   main domain's reads; uncontended atomic ops are plain stores with a
+   fence, so the hot path stays a couple of ns. *)
+type counter = int Atomic.t
+type gauge = float Atomic.t
 
 type metric =
   | Counter of counter
@@ -30,7 +33,7 @@ let counter t key =
   | Some (Counter c) -> c
   | Some m -> clash key m "counter"
   | None ->
-    let c = { c_value = 0 } in
+    let c = Atomic.make 0 in
     Hashtbl.replace t.metrics key (Counter c);
     c
 
@@ -39,7 +42,7 @@ let gauge t key =
   | Some (Gauge g) -> g
   | Some m -> clash key m "gauge"
   | None ->
-    let g = { g_value = 0.0 } in
+    let g = Atomic.make 0.0 in
     Hashtbl.replace t.metrics key (Gauge g);
     g
 
@@ -68,11 +71,11 @@ let derive_float t key f =
   | Some (Derived_float _) | None -> Hashtbl.replace t.metrics key (Derived_float f)
   | Some m -> clash key m "derived-float"
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let value c = c.c_value
-let set g v = g.g_value <- v
-let get g = g.g_value
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let value c = Atomic.get c
+let set g v = Atomic.set g v
+let get g = Atomic.get g
 
 let mem t key = Hashtbl.mem t.metrics key
 
@@ -141,8 +144,8 @@ let snapshot t =
   |> List.map (fun key ->
          let v =
            match Hashtbl.find t.metrics key with
-           | Counter c -> Int c.c_value
-           | Gauge g -> Float g.g_value
+           | Counter c -> Int (Atomic.get c)
+           | Gauge g -> Float (Atomic.get g)
            | Hist h -> Hist (snapshot_hist h)
            | Derived_int f -> Int (f ())
            | Derived_float f -> Float (f ())
@@ -186,7 +189,7 @@ let reset t =
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.c_value <- 0
+      | Counter c -> Atomic.set c 0
       | Hist h -> Histogram.clear h
       | Gauge _ | Derived_int _ | Derived_float _ -> ())
     t.metrics

@@ -6,8 +6,10 @@
     equivalent of the per-array metric table those logs sample. Every
     subsystem registers its counters under a hierarchical slash-separated
     key ([write_path/nvram_commit_us], [ssd/drive3/program_stalls], ...)
-    and records through the handle it got back — an unsynchronised mutable
-    cell, so hot-path recording is a single store.
+    and records through the handle it got back — an [Atomic.t] cell, so
+    hot-path recording is one uncontended atomic store and pool worker
+    domains can record without racing the main domain (registration and
+    snapshots remain main-domain-only: the key table is not synchronised).
 
     Three metric families are recorded directly:
     - {e counters}: monotone ints ([incr]/[add]);

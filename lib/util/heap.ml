@@ -50,6 +50,13 @@ let push t x =
 
 let peek t = if t.size = 0 then None else Some t.data.(0)
 
+(* Slots in data[size..cap) must never hold the only reference to a dead
+   element: the sim's event queue pops millions of events, and a popped
+   closure pinned by its vacated slot lives until that slot happens to be
+   overwritten by a later push. Pop therefore overwrites the vacated slot
+   with a live element (the root it just moved), shrinks the array at
+   quarter occupancy, and drops it entirely when empty — so the heap
+   retains at most O(live) elements, never O(high-water mark). *)
 let pop t =
   if t.size = 0 then None
   else begin
@@ -57,12 +64,19 @@ let pop t =
     t.size <- t.size - 1;
     if t.size > 0 then begin
       t.data.(0) <- t.data.(t.size);
-      sift_down t 0
-    end;
+      t.data.(t.size) <- t.data.(0);
+      sift_down t 0;
+      let cap = Array.length t.data in
+      if cap > 16 && t.size * 4 < cap then
+        t.data <- Array.sub t.data 0 (max 16 (2 * t.size))
+    end
+    else t.data <- [||];
     Some top
   end
 
-let clear t = t.size <- 0
+let clear t =
+  t.size <- 0;
+  t.data <- [||]
 
 let to_list t =
   let rec go i acc = if i < 0 then acc else go (i - 1) (t.data.(i) :: acc) in

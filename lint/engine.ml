@@ -112,7 +112,7 @@ let check_structure (cfg : Rules.config) ~source_file (str : Typedtree.structure
             | None ->
               emit_bad a.attr_loc
                 (Printf.sprintf "unknown rule %S in waiver (expected one of \
-                                 determinism/unsafe/hotpath/partial)" rule_s);
+                                 determinism/unsafe/domain/hotpath/partial)" rule_s);
               None
             | Some r -> Some { w_rule = r; w_reason = reason; w_loc = a.attr_loc; w_hits = 0 }))
       attrs
@@ -129,6 +129,7 @@ let check_structure (cfg : Rules.config) ~source_file (str : Typedtree.structure
   let hot = Rules.in_hot_path cfg source_file in
   let recovery = Rules.in_recovery cfg source_file in
   let audited = Rules.is_audited cfg source_file in
+  let audited_domains = Rules.is_audited_domains cfg source_file in
   let check_ident ~loc name (e : Typedtree.expression) =
     if Rules.determinism_violation name then
       emit ~loc Determinism
@@ -141,6 +142,13 @@ let check_structure (cfg : Rules.config) ~source_file (str : Typedtree.structure
         (Printf.sprintf
            "%s outside the audited kernel modules; move it behind an audited \
             kernel or waive it with a reason"
+           name)
+    else if (not audited_domains) && Rules.domain_violation name then
+      emit ~loc Domain_state
+        (Printf.sprintf
+           "%s outside the audited multicore modules; cross-domain shared \
+            mutable state breaks deterministic replay — go through \
+            Purity_par.Pool/Epoch or audit this module in the lint config"
            name)
     else begin
       if recovery && Rules.partial_violation name then

@@ -5,6 +5,7 @@
 type rule =
   | Determinism  (* wall clock / global RNG in engine code *)
   | Unsafe  (* unchecked accessors & casts outside audited kernels *)
+  | Domain_state  (* Domain/Atomic/Mutex/... outside audited multicore modules *)
   | Hotpath  (* polymorphic hash/compare at non-primitive types *)
   | Partial  (* exception-raising partial functions in failover code *)
   | Waiver  (* stale or malformed [@purity.lint.allow] / baseline row *)
@@ -12,6 +13,7 @@ type rule =
 let rule_name = function
   | Determinism -> "determinism"
   | Unsafe -> "unsafe"
+  | Domain_state -> "domain"
   | Hotpath -> "hotpath"
   | Partial -> "partial"
   | Waiver -> "waiver"
@@ -21,6 +23,7 @@ let rule_name = function
 let rule_of_name = function
   | "determinism" -> Some Determinism
   | "unsafe" -> Some Unsafe
+  | "domain" -> Some Domain_state
   | "hotpath" -> Some Hotpath
   | "partial" -> Some Partial
   | _ -> None
@@ -30,7 +33,7 @@ type severity = Error | Warning
 let severity_name = function Error -> "error" | Warning -> "warning"
 
 let severity_of_rule = function
-  | Determinism | Unsafe | Waiver -> Error
+  | Determinism | Unsafe | Domain_state | Waiver -> Error
   | Hotpath | Partial -> Warning
 
 type t = {

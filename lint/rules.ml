@@ -10,6 +10,11 @@ type config = {
       (* path suffixes where partial functions are flagged *)
   audited_unsafe : string list;
       (* basenames allowed to use unchecked accessors *)
+  audited_domains : string list;
+      (* basenames allowed to touch Domain/Atomic/Mutex/Condition: the
+         deterministic pool, the epoch cell, and the counters they
+         aggregate. Shared mutable state anywhere else is a data race
+         the moment a pool worker can reach it. *)
   exclude : string list;
       (* path substrings skipped entirely (planted test fixtures) *)
 }
@@ -29,6 +34,7 @@ let default =
       ];
     audited_unsafe =
       [ "word.ml"; "crc32c.ml"; "xxhash.ml"; "gf256.ml"; "lz.ml"; "bloom.ml" ];
+    audited_domains = [ "pool.ml"; "epoch.ml"; "kernel_stats.ml"; "registry.ml" ];
     exclude = [ "lint_fixtures" ];
   }
 
@@ -45,6 +51,7 @@ let suffix_matches path suf =
 let in_hot_path cfg path = List.exists (contains_sub path) cfg.hot_path_dirs
 let in_recovery cfg path = List.exists (suffix_matches path) cfg.recovery_files
 let is_audited cfg path = List.mem (Filename.basename path) cfg.audited_unsafe
+let is_audited_domains cfg path = List.mem (Filename.basename path) cfg.audited_domains
 let is_excluded cfg path = List.exists (contains_sub path) cfg.exclude
 
 (* ---- banned identifiers (matched on Path.name with "Stdlib." stripped) ---- *)
@@ -79,6 +86,17 @@ let determinism_violation name =
   List.mem name determinism_banned
   || (starts_with ~prefix:"Random." name
      && not (starts_with ~prefix:"Random.State." name))
+
+(* Cross-domain shared-mutable-state machinery. Spawning domains, CAS
+   loops, locks: each is either the deterministic pool's own plumbing (in
+   an audited module) or an unreviewed parallelism escape hatch that can
+   break per-seed replay in ways no torture seed will reproduce twice.
+   [Domain.DLS] and [Domain.self]-style reads are just as contained — the
+   whole [Domain]/[Atomic]/[Mutex]/[Condition]/[Semaphore] surface is
+   flagged outside the audited modules. *)
+let domain_modules = [ "Domain."; "Atomic."; "Mutex."; "Condition."; "Semaphore." ]
+
+let domain_violation name = List.exists (fun p -> starts_with ~prefix:p name) domain_modules
 
 (* Unchecked accessors and casts: [Bytes.unsafe_get], [String.unsafe_blit],
    [Array.unsafe_set], [Bytes.unsafe_of_string], [Obj.magic], ... — any

@@ -34,6 +34,7 @@ let cfg =
     Lint.Rules.hot_path_dirs = [ "lint_fixtures/" ];
     recovery_files = [ "fx_partial.ml" ];
     audited_unsafe = [ "fx_audited.ml" ];
+    audited_domains = [ "fx_audited.ml" ];
     exclude = [];
   }
 
@@ -58,6 +59,19 @@ let test_determinism () =
 let test_unsafe () =
   let _, r = check "fx_unsafe" in
   Alcotest.check rules_at "unaudited unsafe_get fires" [ ("unsafe", 3) ] (fired r)
+
+let test_domain () =
+  let _, r = check "fx_domain" in
+  Alcotest.check rules_at
+    "Atomic.make and Domain.spawn fire outside audited modules; pure chunk \
+     arithmetic does not"
+    [ ("domain", 3); ("domain", 5) ]
+    (fired r);
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      Alcotest.(check string) "domain is an error" "error"
+        (Lint.Finding.severity_name f.severity))
+    r.findings
 
 let test_audited () =
   let _, r = check "fx_audited" in
@@ -146,6 +160,7 @@ let () =
         [
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "unsafe" `Quick test_unsafe;
+          Alcotest.test_case "domain" `Quick test_domain;
           Alcotest.test_case "audited exemption" `Quick test_audited;
           Alcotest.test_case "hotpath" `Quick test_hotpath;
           Alcotest.test_case "partial" `Quick test_partial;

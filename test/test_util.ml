@@ -320,6 +320,84 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare l)
 
+(* Clock's event queue totally orders events by (time, seq): equal-time
+   events must pop in schedule order. The heap itself is not stable, so
+   this property holds only because the comparator breaks ties — pin it
+   with the exact (time, seq) shape Clock uses, interleaving pushes and
+   pops the way the sim does. *)
+let prop_heap_seq_tiebreak =
+  QCheck.Test.make ~name:"heap pops equal-time events in seq order" ~count:200
+    QCheck.(list_of_size Gen.(0 -- 100) (pair (int_bound 8) bool))
+    (fun ops ->
+      let cmp (t1, s1) (t2, s2) =
+        let c = Int.compare t1 t2 in
+        if c <> 0 then c else Int.compare s1 s2
+      in
+      let h = Heap.create ~cmp in
+      let seq = ref 0 in
+      let pushed = ref [] and popped = ref [] in
+      List.iter
+        (fun (time, do_pop) ->
+          if do_pop then (
+            match Heap.pop h with
+            | Some e -> popped := e :: !popped
+            | None -> ())
+          else begin
+            let e = (time, !seq) in
+            incr seq;
+            pushed := e :: !pushed;
+            Heap.push h e
+          end)
+        ops;
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some v -> drain (v :: acc)
+      in
+      let final = drain [] in
+      (* the tail drained at the end is totally ordered... *)
+      List.sort cmp final = final
+      (* ...and nothing was lost or duplicated across the interleaving *)
+      && List.sort cmp (!popped @ final) = List.sort cmp !pushed)
+
+(* Regression for the pop retained-memory leak: slots [data.(size..cap))]
+   used to keep popped elements reachable until a later push happened to
+   overwrite them, so the sim's event queue pinned dead events (and their
+   closures) up to the heap's high-water mark. After the fix, retention is
+   bounded by the live set (vacated slots hold dups of live elements and
+   the backing array shrinks at quarter occupancy), and a fully drained
+   heap retains nothing at all. *)
+let test_heap_pop_releases () =
+  let high_water = 512 and live = 32 in
+  let h = Heap.create ~cmp:(fun a b -> Int.compare !a !b) in
+  for i = 1 to high_water do
+    Heap.push h (ref i)
+  done;
+  let n_popped = high_water - live in
+  let weaks = Weak.create n_popped in
+  for i = 0 to n_popped - 1 do
+    match Heap.pop h with
+    | Some r -> Weak.set weaks i (Some r)
+    | None -> Alcotest.fail "heap drained early"
+  done;
+  Gc.full_major ();
+  let pinned () =
+    let n = ref 0 in
+    for i = 0 to n_popped - 1 do
+      if Weak.check weaks i then incr n
+    done;
+    !n
+  in
+  check int "live elements remain" live (Heap.length h);
+  (* the unfixed heap pins ~all 480 popped refs here (cap never shrinks
+     below the high-water mark); the fixed one at most cap - size < 3x
+     the live set *)
+  check bool "retention bounded by live set, not high-water mark" true
+    (pinned () <= 3 * live);
+  let rec drain () = match Heap.pop h with Some _ -> drain () | None -> () in
+  drain ();
+  Gc.full_major ();
+  check bool "empty heap" true (Heap.is_empty h);
+  check int "a drained heap pins nothing" 0 (pinned ())
+
 (* ---------- Lru ---------- *)
 
 let test_lru_eviction () =
@@ -486,7 +564,9 @@ let () =
         [
           Alcotest.test_case "ordering" `Quick test_heap_ordering;
           Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "pop releases elements" `Quick test_heap_pop_releases;
           QCheck_alcotest.to_alcotest prop_heap_sorts;
+          QCheck_alcotest.to_alcotest prop_heap_seq_tiebreak;
         ] );
       ( "lru",
         [
